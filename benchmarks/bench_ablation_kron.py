@@ -1,0 +1,52 @@
+"""Ablation: materialized Kronecker LASSO vs exact column decomposition.
+
+The paper materializes ``(I ⊗ X)`` in distributed memory — that is its
+"problem-size explosion".  Because the lifted design is block diagonal
+and the L1 penalty separable, the same optimum is available column by
+column without ever forming the big matrix.  This ablation times both
+paths on the same problem and verifies they agree, quantifying what
+the communication-avoiding alternative (the Discussion's suggestion)
+buys.
+"""
+
+import numpy as np
+import pytest
+
+from repro.linalg import identity_kron, kron_lasso_columnwise, lasso_cd, vec
+
+M, K, P = 60, 6, 12
+LAM = 3.0
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((M, K))
+    B = rng.standard_normal((K, P)) * (rng.random((K, P)) < 0.4)
+    Y = X @ B + 0.05 * rng.standard_normal((M, P))
+    return X, Y
+
+
+def test_materialized_lifted_lasso(benchmark, problem):
+    X, Y = problem
+
+    def run():
+        lifted = identity_kron(X, P, sparse=False)
+        return lasso_cd(lifted, vec(Y), LAM, max_iter=3000)
+
+    beta = benchmark(run)
+    assert beta.shape == (K * P,)
+
+
+def test_columnwise_lasso(benchmark, problem):
+    X, Y = problem
+    beta = benchmark(kron_lasso_columnwise, X, Y, LAM, lasso_cd)
+    assert beta.shape == (K * P,)
+
+
+def test_paths_agree(problem):
+    X, Y = problem
+    lifted = identity_kron(X, P, sparse=False)
+    direct = lasso_cd(lifted, vec(Y), LAM, max_iter=5000)
+    by_col = kron_lasso_columnwise(X, Y, LAM, lasso_cd)
+    np.testing.assert_allclose(direct, by_col, atol=1e-5)

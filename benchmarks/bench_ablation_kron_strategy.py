@@ -1,0 +1,103 @@
+"""Ablation: RMA-reader vs communication-avoiding Kronecker construction.
+
+The paper's bottleneck analysis vs its own proposed fix.  Functional
+half: both strategies assemble the identical lifted problem on the
+simulator (timed for real).  Analytic half: at the paper's scale the
+RMA-reader law (calibrated to the two §VI measurements) is compared
+with the broadcast strategy's modeled cost, which escapes the p^3
+explosion entirely — quantifying exactly how much the Discussion's
+suggestion would have bought.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse
+
+from repro.distribution import BroadcastKron, DistributedKron, ca_kron_model_time
+from repro.linalg.kron import identity_kron, vec
+from repro.perf.scaling import kron_distribution_time, var_weak_scaling_cores
+from repro.datasets.var_synthetic import features_for_gigabytes
+from repro.simmpi import CORI_KNL, LAPTOP, run_spmd
+
+M, K, P = 24, 4, 8
+
+
+@pytest.fixture(scope="module")
+def source():
+    rng = np.random.default_rng(6)
+    return rng.standard_normal((M, K)), rng.standard_normal((M, P))
+
+
+def test_rma_reader_construction(benchmark, source):
+    X, Y = source
+
+    def run():
+        def prog(comm):
+            dk = DistributedKron(
+                comm,
+                X if comm.rank < 2 else None,
+                Y if comm.rank < 2 else None,
+                n_readers=2,
+            )
+            out = dk.build_local()
+            dk.close()
+            return out
+
+        return run_spmd(4, prog, machine=LAPTOP)
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(res.values) == 4
+
+
+def test_broadcast_construction(benchmark, source):
+    X, Y = source
+
+    def run():
+        def prog(comm):
+            bk = BroadcastKron(
+                comm,
+                X if comm.rank == 0 else None,
+                Y if comm.rank == 0 else None,
+            )
+            return bk.build_local()
+
+        return run_spmd(4, prog, machine=LAPTOP)
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(res.values) == 4
+
+
+def test_strategies_build_identical_problem(source):
+    X, Y = source
+
+    def prog(comm):
+        dk = DistributedKron(comm, X if comm.rank < 2 else None,
+                             Y if comm.rank < 2 else None, n_readers=2)
+        rma = dk.build_local()
+        dk.close()
+        bk = BroadcastKron(comm, X if comm.rank == 0 else None,
+                           Y if comm.rank == 0 else None)
+        bcast = bk.build_local()
+        return rma, bcast
+
+    res = run_spmd(4, prog, machine=LAPTOP)
+    A_rma = scipy.sparse.vstack([v[0][0] for v in res.values]).toarray()
+    A_bc = scipy.sparse.vstack([v[1][0] for v in res.values]).toarray()
+    np.testing.assert_allclose(A_rma, A_bc)
+    np.testing.assert_allclose(A_rma, identity_kron(X, P, sparse=False))
+    b_bc = np.concatenate([v[1][1] for v in res.values])
+    np.testing.assert_allclose(b_bc, vec(Y))
+
+
+def test_paper_scale_comparison():
+    """At every weak-scaling point, broadcasting beats the RMA readers
+    by orders of magnitude — the Discussion's fix, quantified."""
+    print()
+    for gb in (128, 1024, 8192):
+        cores = var_weak_scaling_cores(gb)
+        p = features_for_gigabytes(gb)
+        rma = kron_distribution_time(gb * 1024**3, cores)
+        ca = ca_kron_model_time(CORI_KNL, 2 * p, p, cores)
+        print(f"{gb:>5}GB/{cores} cores: RMA {rma:10.1f}s vs broadcast {ca:8.4f}s "
+              f"(x{rma / ca:,.0f})")
+        assert ca < rma / 100

@@ -1,0 +1,34 @@
+"""Ablation: OST stripe count vs parallel read time.
+
+The paper stripes its HDF5 files over 160 OSTs, noting the 16 GB file
+read *slower* than larger ones because it was left unstriped.  This
+ablation sweeps the stripe count at fixed data size and core count.
+"""
+
+import pytest
+
+from repro.pfs import parallel_read_time
+from repro.simmpi import CORI_KNL
+
+SIZE = 1024 * 1024**3  # 1 TB
+CORES = 34816
+
+
+@pytest.mark.parametrize("stripes", [1, 4, 16, 64, 160])
+def test_read_time_vs_striping(benchmark, stripes):
+    t = benchmark(
+        parallel_read_time, CORI_KNL, SIZE, CORES, stripe_count=stripes
+    )
+    print(f"\n1TB on {CORES} cores, {stripes} stripes: {t:.1f}s")
+
+
+def test_striping_monotone_and_saturating():
+    times = {
+        s: parallel_read_time(CORI_KNL, SIZE, CORES, stripe_count=s)
+        for s in (1, 4, 16, 64, 160)
+    }
+    vals = list(times.values())
+    assert all(a >= b for a, b in zip(vals, vals[1:]))  # more stripes, faster
+    # 160-way striping turns a ~17-minute read into seconds.
+    assert times[1] > 600
+    assert times[160] < 30

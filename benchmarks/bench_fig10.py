@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig. 10 (UoI_VAR strong scaling, 1 TB).
+
+Shape: computation scales almost ideally; distribution grows with the
+core count.
+"""
+
+from repro.experiments import fig10
+
+from conftest import run_and_report
+
+
+def test_fig10(benchmark):
+    res = run_and_report(benchmark, fig10.run, rounds=3)
+    series = res.data["series"]
+    cores = sorted(series)
+    ratio = series[cores[0]]["computation"] / series[cores[-1]]["computation"]
+    assert abs(ratio - cores[-1] / cores[0]) / (cores[-1] / cores[0]) < 0.05
+    assert res.data["distribution_growing"]

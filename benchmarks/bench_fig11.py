@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig. 11 (S&P-50 Granger causal graph).
+
+Runs the full paper pipeline (50 companies, B1 = 40, B2 = 5) on the
+synthetic panel.  Shape: a sparse directed graph — fewer than 40 edges
+out of 2,500 possible.
+"""
+
+from repro.experiments import fig11
+
+from conftest import run_and_report
+
+
+def test_fig11_full_pipeline(benchmark):
+    res = run_and_report(benchmark, fig11.run, fast=False)
+    summary = res.data["summary"]
+    assert summary["nodes"] == 50
+    assert summary["possible_edges"] == 2500
+    assert 0 < summary["edges"] < 40  # the paper's headline

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 2 (UoI_LASSO single-node breakdown).
+
+Shape: ~90% computation, <10% communication, kernels DRAM-bound.
+"""
+
+from repro.experiments import fig2
+
+from conftest import run_and_report
+
+
+def test_fig2(benchmark):
+    res = run_and_report(benchmark, fig2.run)
+    assert res.data["computation_share"] > 0.85
+    assert all(v == "memory-bound" for v in res.data["roofline"].values())

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 3 (UoI_LASSO P_B x P_lambda parallelism).
+
+Shape: runtimes within a few percent across grid shapes at each size;
+functional mini-grids agree on coefficients across shapes.
+"""
+
+from repro.experiments import fig3
+
+from conftest import run_and_report
+
+
+def test_fig3(benchmark):
+    res = run_and_report(benchmark, fig3.run)
+    totals = res.data["model_totals"]
+    for gb, _ in fig3.PAPER_SIZES:
+        vals = [totals[(gb, pb, plam)] for pb, plam in fig3.PAPER_GRIDS]
+        assert max(vals) / min(vals) < 1.25

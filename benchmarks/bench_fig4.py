@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 4 (UoI_LASSO weak scaling).
+
+Shape: computation flat (near-ideal weak scaling); communication grows
+with core count and dominates at the largest sizes.
+"""
+
+from repro.experiments import fig4
+
+from conftest import run_and_report
+
+
+def test_fig4(benchmark):
+    res = run_and_report(benchmark, fig4.run, rounds=3)
+    series = res.data["series"]
+    comps = [series[gb]["computation"] for gb in sorted(series)]
+    assert max(comps) / min(comps) < 1.1  # near-ideal weak scaling
+    comms = [series[gb]["communication"] for gb in sorted(series)]
+    assert all(a < b for a, b in zip(comms, comms[1:]))
+    assert res.data["crossover_gb"] is not None

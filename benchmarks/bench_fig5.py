@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 5 (Allreduce T_min/T_max variability)."""
+
+from repro.experiments import fig5
+
+from conftest import run_and_report
+
+
+def test_fig5(benchmark):
+    res = run_and_report(benchmark, fig5.run, rounds=3)
+    for gb, (tmin, tmax) in res.data["series"].items():
+        assert 0 < tmin < tmax  # visible variability at every point

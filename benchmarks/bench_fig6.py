@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig. 6 (UoI_LASSO strong scaling, 1 TB).
+
+Shape: computation falls with core count, dipping below ideal at
+139,264 cores (superlinear); communication grows.
+"""
+
+from repro.experiments import fig6
+
+from conftest import run_and_report
+
+
+def test_fig6(benchmark):
+    res = run_and_report(benchmark, fig6.run, rounds=3)
+    series = res.data["series"]
+    cores = sorted(series)
+    comps = [series[c]["computation"] for c in cores]
+    assert all(a > b for a, b in zip(comps, comps[1:]))  # monotone speedup
+    assert res.data["superlinear"][139264]

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 8 (UoI_VAR algorithmic parallelism).
+
+Shape: the Kronecker + vectorization (distribution) time increases as
+P_lambda parallelism grows / P_B shrinks.
+"""
+
+from repro.experiments import fig8
+
+from conftest import run_and_report
+
+
+def test_fig8(benchmark):
+    res = run_and_report(benchmark, fig8.run)
+    assert res.data["monotone_in_plam"]

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 9 (UoI_VAR weak scaling).
+
+Shape: computation flat; distribution grows with cores and problem
+size, overtaking computation at ~2 TB.
+"""
+
+from repro.experiments import fig9
+
+from conftest import run_and_report
+
+
+def test_fig9(benchmark):
+    res = run_and_report(benchmark, fig9.run, rounds=3)
+    series = res.data["series"]
+    comps = [series[gb]["computation"] for gb in sorted(series)]
+    assert max(comps) / min(comps) < 1.1
+    assert res.data["crossover_gb"] in (2048, 4096)

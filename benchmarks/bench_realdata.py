@@ -1,0 +1,23 @@
+"""Benchmark: regenerate the §VI real-data runtime rows.
+
+Shape: finance (80 GB / 2,176 cores) lands near 376.9 / 4.7 / 16.4 s;
+neuro (1.3 TB / 81,600 cores) reproduces the distribution-bound
+ordering with distribution ≈ 3,034 s and communication ≈ 1,599 s.
+"""
+
+import pytest
+
+from repro.experiments import realdata
+
+from conftest import run_and_report
+
+
+def test_realdata(benchmark):
+    res = run_and_report(benchmark, realdata.run)
+    fin = res.data["finance_model"]
+    neuro = res.data["neuro_model"]
+    assert fin["distribution"] == pytest.approx(16.409, rel=0.1)
+    assert neuro["distribution"] == pytest.approx(3034.4, rel=0.1)
+    assert neuro["communication"] == pytest.approx(1598.72, rel=0.2)
+    # The paper's ordering for the neuro run: dist > comm > (tiny) io.
+    assert neuro["distribution"] > neuro["communication"] > neuro["data_io"]

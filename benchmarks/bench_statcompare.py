@@ -1,0 +1,17 @@
+"""Benchmark: UoI vs LASSO/MCP/SCAD/Ridge statistical quality.
+
+Shape (the paper's premise): UoI_LASSO has fewer false positives than
+plain LASSO at full recall, and far lower coefficient bias.
+"""
+
+from repro.experiments import statcompare
+
+from conftest import run_and_report
+
+
+def test_statcompare(benchmark):
+    res = run_and_report(benchmark, statcompare.run, fast=False)
+    s = res.data["summary"]
+    assert s["UoI_LASSO"]["fp"] <= s["LASSO"]["fp"]
+    assert abs(s["UoI_LASSO"]["bias"]) < abs(s["LASSO"]["bias"])
+    assert s["UoI_LASSO"]["recall"] >= 0.9

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table I (performance-analysis setup)."""
+
+from repro.experiments import table1
+
+from conftest import run_and_report
+
+
+def test_table1(benchmark):
+    res = run_and_report(benchmark, table1.run, rounds=3)
+    # Core counts must match the paper's table exactly.
+    for gb, (lasso_cores, var_cores) in res.data["weak"].items():
+        assert lasso_cores == res.data["paper_lasso"][gb]
+        assert var_cores == res.data["paper_var"][gb]

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one of the paper's tables or
+figures: the benchmarked callable is the experiment driver itself, and
+the rendered report (the same rows/series the paper plots) is printed
+so a reader can diff it against the publication.  Heavy functional
+drivers run a single round via ``benchmark.pedantic``; pure-model
+drivers are cheap and benchmark normally.
+"""
+
+from __future__ import annotations
+
+
+def run_and_report(benchmark, driver, *, fast: bool = True, rounds: int = 1):
+    """Benchmark an experiment driver once and print its report."""
+    result = benchmark.pedantic(
+        driver, kwargs={"fast": fast}, rounds=rounds, iterations=1
+    )
+    print()
+    print(result.render())
+    return result

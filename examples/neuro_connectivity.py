@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Functional-connectivity inference from spike counts (paper §VI).
+
+The paper's neuroscience application fits UoI_VAR to 192-electrode
+M1/S1 spike recordings.  This example runs the identical pipeline on
+the synthetic spike-count panel (latent sparse VAR -> Poisson counts):
+center the counts, fit UoI_VAR(1), extract the directed electrode
+network, and — because the generator plants the ground truth — score
+the recovered connectivity and summarize M1 <-> S1 interactions.
+
+Run:  python examples/neuro_connectivity.py [--electrodes N]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import UoILasso, UoILassoConfig, UoIVar, UoIVarConfig
+from repro.datasets.neuro import make_spike_counts
+from repro.metrics.selection import selection_report
+from repro.var.granger import granger_adjacency
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--electrodes", type=int, default=20)
+    parser.add_argument("--samples", type=int, default=900)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(7)
+    panel = make_spike_counts(args.electrodes, args.samples, density=0.06, rng=rng)
+    print(f"panel: {panel.counts.shape[0]} samples x "
+          f"{panel.counts.shape[1]} electrodes "
+          f"({panel.regions.count('M1')} M1, {panel.regions.count('S1')} S1)")
+    print(f"mean firing rate: {panel.counts.mean():.2f} spikes/bin")
+
+    # Center the counts (the latent model is linear in fluctuations).
+    centered = panel.counts - panel.counts.mean(axis=0)
+    cfg = UoIVarConfig(
+        order=1,
+        lasso=UoILassoConfig(
+            n_lambdas=10,
+            n_selection_bootstraps=10,
+            n_estimation_bootstraps=5,
+            solver="cd",
+            random_state=7,
+        ),
+    )
+    model = UoIVar(cfg).fit(centered)
+    summary = model.network_summary()
+    print(f"\ninferred network: {summary['edges']} edges "
+          f"/ {summary['possible_edges']} possible "
+          f"(density {summary['density']:.3f})")
+
+    p = args.electrodes
+    true_off = panel.coefs[0] != 0
+    np.fill_diagonal(true_off, False)
+    est_off = (model.coefs_[0] != 0) & ~np.eye(p, dtype=bool)
+    rep = selection_report(true_off, est_off)
+    print(f"vs planted coupling: precision {rep.precision:.2f}, "
+          f"recall {rep.recall:.2f} (tp={rep.tp}, fp={rep.fp}, fn={rep.fn})")
+
+    # Region-level summary (the kind of statement the paper's
+    # application sections motivate).
+    W = granger_adjacency(model.coefs_)
+    np.fill_diagonal(W, 0.0)
+    regions = np.array(panel.regions)
+    blocks = {}
+    for src in ("M1", "S1"):
+        for dst in ("M1", "S1"):
+            mask = np.outer(regions == dst, regions == src)
+            blocks[f"{src}->{dst}"] = int((W[mask] > 0).sum())
+    print("\nregion-to-region edge counts:")
+    for k, v in blocks.items():
+        print(f"  {k}: {v}")
+
+
+if __name__ == "__main__":
+    main()

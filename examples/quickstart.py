@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Quickstart: sparse regression and Granger-network inference with UoI.
+
+Runs in under a minute on a laptop.  Three stops:
+
+1. UoI_LASSO on a planted sparse regression — watch it recover the
+   support with far fewer false positives than a plain LASSO.
+2. UoI_VAR on a small simulated network — recover the directed edges.
+3. The same UoI_LASSO fit executed *distributed* on the simulated MPI
+   substrate (4 ranks, consensus ADMM, randomized data distribution),
+   matching the serial answer.
+"""
+
+import numpy as np
+
+from repro.core import UoILasso, UoIVar, UoILassoConfig
+from repro.core.parallel import distributed_uoi_lasso
+from repro.datasets import make_sparse_regression, make_sparse_var
+from repro.linalg import lasso_cd, lambda_grid
+from repro.metrics import selection_report
+from repro.pfs import SimH5File
+from repro.simmpi import run_spmd, CORI_KNL
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # ------------------------------------------------------------------
+    print("=" * 64)
+    print("1. UoI_LASSO vs plain LASSO on a planted sparse model")
+    print("=" * 64)
+    ds = make_sparse_regression(200, 40, n_informative=5, snr=8.0, rng=rng)
+    cfg = UoILassoConfig(
+        n_lambdas=12,
+        n_selection_bootstraps=12,
+        n_estimation_bootstraps=8,
+        solver="cd",
+        random_state=0,
+    )
+    uoi = UoILasso(cfg).fit(ds.X, ds.y)
+    uoi_rep = selection_report(ds.support, uoi.coef_)
+
+    # Plain LASSO at its best held-out penalty, for contrast.
+    lams = lambda_grid(ds.X, ds.y, num=12)
+    best, best_loss = None, np.inf
+    for lam in lams:
+        beta = lasso_cd(ds.X[:150], ds.y[:150], float(lam))
+        loss = float(np.mean((ds.y[150:] - ds.X[150:] @ beta) ** 2))
+        if loss < best_loss:
+            best, best_loss = beta, loss
+    lasso_rep = selection_report(ds.support, best)
+
+    print(f"true support: {np.flatnonzero(ds.support).tolist()}")
+    print(f"UoI_LASSO   : {np.flatnonzero(uoi.coef_).tolist()}"
+          f"   (FP={uoi_rep.fp}, FN={uoi_rep.fn})")
+    print(f"plain LASSO : {np.flatnonzero(best).tolist()}"
+          f"   (FP={lasso_rep.fp}, FN={lasso_rep.fn})")
+    print(f"UoI R^2 on all data: {uoi.score(ds.X, ds.y):.4f}")
+
+    # ------------------------------------------------------------------
+    print()
+    print("=" * 64)
+    print("2. UoI_VAR: recover a directed Granger network")
+    print("=" * 64)
+    sv = make_sparse_var(6, 600, density=0.12, rng=rng)
+    var = UoIVar(
+        order=1,
+        n_lambdas=10,
+        n_selection_bootstraps=8,
+        n_estimation_bootstraps=5,
+        solver="cd",
+        random_state=0,
+    ).fit(sv.series)
+    print("true edges (off-diagonal):")
+    print((sv.support[0] & ~np.eye(6, dtype=bool)).astype(int))
+    print("estimated edges:")
+    est = var.coefs_[0] != 0
+    print((est & ~np.eye(6, dtype=bool)).astype(int))
+    print("network summary:", var.network_summary())
+
+    # ------------------------------------------------------------------
+    print()
+    print("=" * 64)
+    print("3. The same UoI_LASSO, distributed over 4 simulated MPI ranks")
+    print("=" * 64)
+    small = make_sparse_regression(96, 10, n_informative=3, rng=np.random.default_rng(1))
+    file = SimH5File("/quickstart.h5")
+    file.create_dataset("data", np.column_stack([small.y, small.X]))
+    dcfg = UoILassoConfig(
+        n_lambdas=6, n_selection_bootstraps=4, n_estimation_bootstraps=3,
+        random_state=1,
+    )
+    serial = UoILasso(dcfg).fit(small.X, small.y)
+    result = run_spmd(
+        4,
+        lambda comm: distributed_uoi_lasso(comm, file, "data", dcfg),
+        machine=CORI_KNL,
+    )
+    dist_coef = result.values[0].coef
+    print(f"max |distributed - serial| coefficient gap: "
+          f"{np.max(np.abs(dist_coef - serial.coef_)):.2e}")
+    print(f"modeled time on the KNL machine model: {result.elapsed:.4f}s")
+    print("breakdown:", {k: f"{v:.2e}" for k, v in result.breakdown().items()})
+
+
+if __name__ == "__main__":
+    main()

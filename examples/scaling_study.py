@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Reproduce the paper's scaling study from your terminal.
+
+Prints the modeled weak/strong-scaling breakdowns for both algorithms
+at the paper's configurations (Tables I–II, Figures 4–6 and 9–10) and
+runs a small *functional* distributed job on the simulated MPI
+substrate so you can see the same machinery executing for real.
+
+Run:  python examples/scaling_study.py [--ranks N]
+"""
+
+import argparse
+
+from repro.experiments import fig4, fig6, fig9, fig10, table1, table2
+from repro.experiments._functional import mini_uoi_lasso_run
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ranks", type=int, default=4,
+                        help="functional-simulation world size")
+    args = parser.parse_args()
+
+    for driver in (table1, table2, fig4, fig6, fig9, fig10):
+        print(driver.run(fast=True).render())
+        print()
+
+    print("=" * 64)
+    print(f"functional distributed UoI_LASSO on {args.ranks} simulated ranks")
+    print("=" * 64)
+    out = mini_uoi_lasso_run(nranks=args.ranks)
+    print(f"modeled job time: {out['elapsed']:.3e}s on the KNL model")
+    total = sum(out["breakdown"].values())
+    for cat, sec in out["breakdown"].items():
+        print(f"  {cat:<14} {sec:.3e}s ({sec / total:5.1%})")
+
+
+if __name__ == "__main__":
+    main()

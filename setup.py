@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline build environment has setuptools but no `wheel`, so PEP-517
+isolated builds fail; this shim lets `pip install -e . --no-build-isolation`
+(and plain `pip install -e .` on older pips) take the legacy
+`setup.py develop` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

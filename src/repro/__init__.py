@@ -1,0 +1,64 @@
+"""repro — Union of Intersections at scale, reproduced in Python.
+
+A from-scratch reproduction of *"Scaling of Union of Intersections for
+Inference of Granger Causal Networks from Observational Data"*
+(Balasubramanian et al., IPDPS 2020): the UoI_LASSO and UoI_VAR
+algorithms, the distributed systems they run on (consensus LASSO-ADMM,
+randomized three-tier data distribution, distributed Kronecker
+product + vectorization), a simulated MPI + Lustre substrate standing
+in for Cori KNL, and drivers regenerating every table and figure of
+the paper's evaluation.
+
+Quick tour::
+
+    from repro import UoILasso, UoIVar
+    model = UoILasso(n_lambdas=12).fit(X, y)      # Algorithm 1
+    var = UoIVar(order=1).fit(series)             # Algorithm 2
+    var.granger_graph()                            # Fig.-11-style digraph
+
+Subpackages
+-----------
+``repro.core``
+    The UoI framework: serial estimators, bootstraps, intersection /
+    union stages, distributed drivers.
+``repro.linalg``
+    Solvers: LASSO-ADMM (serial + consensus), coordinate descent,
+    OLS/Ridge/MCP/SCAD baselines, ``I ⊗ X`` machinery.
+``repro.simmpi``
+    Simulated MPI: SPMD executor, collectives, RMA windows, virtual
+    clocks, KNL machine model.
+``repro.pfs`` / ``repro.distribution``
+    Simulated Lustre/HDF5 and the paper's data-distribution
+    strategies.
+``repro.var``
+    VAR processes, lag matrices, Granger-network extraction.
+``repro.datasets`` / ``repro.metrics``
+    Synthetic data with planted truth; selection/estimation metrics.
+``repro.perf`` / ``repro.experiments``
+    Roofline + scaling models; per-table/figure experiment drivers.
+"""
+
+from repro.core import UoILasso, UoILassoConfig, UoIVar, UoIVarConfig
+from repro.var import VARProcess, granger_digraph
+from repro.datasets import (
+    make_sparse_regression,
+    make_sparse_var,
+    make_stock_panel,
+    make_spike_counts,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UoILasso",
+    "UoILassoConfig",
+    "UoIVar",
+    "UoIVarConfig",
+    "VARProcess",
+    "granger_digraph",
+    "make_sparse_regression",
+    "make_sparse_var",
+    "make_stock_panel",
+    "make_spike_counts",
+    "__version__",
+]

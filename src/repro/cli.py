@@ -1,0 +1,114 @@
+"""Command-line interface: ``python -m repro ...``.
+
+Subcommands
+-----------
+``list``
+    Show every experiment driver with its paper artifact.
+``run <name>|all [--full]``
+    Run one experiment driver (or all of them) and print the rendered
+    paper-style report.  ``--full`` uses the paper's full
+    configurations where the driver distinguishes (slower).
+``machine [name]``
+    Print a machine-model calibration sheet (default: cori-knl).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import importlib
+import sys
+from typing import Sequence
+
+from repro.simmpi.machine import CORI_KNL, LAPTOP
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: Driver name -> short description (order = run order for ``all``).
+EXPERIMENTS = {
+    "table1": "Table I — performance-analysis setup",
+    "table2": "Table II — randomized vs conventional distribution",
+    "fig2": "Fig. 2 — UoI_LASSO single-node breakdown",
+    "fig3": "Fig. 3 — UoI_LASSO P_B x P_lambda parallelism",
+    "fig4": "Fig. 4 — UoI_LASSO weak scaling",
+    "fig5": "Fig. 5 — Allreduce T_min/T_max variability",
+    "fig6": "Fig. 6 — UoI_LASSO strong scaling",
+    "fig7": "Fig. 7 — UoI_VAR single-node breakdown",
+    "fig8": "Fig. 8 — UoI_VAR algorithmic parallelism",
+    "fig9": "Fig. 9 — UoI_VAR weak scaling",
+    "fig10": "Fig. 10 — UoI_VAR strong scaling",
+    "fig11": "Fig. 11 — S&P-50 Granger causal graph",
+    "realdata": "§VI — real-data runtime analyses",
+    "statcompare": "UoI vs LASSO/CV/MCP/SCAD/Ridge quality",
+}
+
+_MACHINES = {"cori-knl": CORI_KNL, "laptop": LAPTOP}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the IPDPS 2020 UoI scaling paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiment drivers")
+
+    run = sub.add_parser("run", help="run experiment driver(s)")
+    run.add_argument(
+        "name",
+        choices=list(EXPERIMENTS) + ["all"],
+        help="paper artifact to regenerate, or 'all'",
+    )
+    run.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's full configuration where applicable (slower)",
+    )
+
+    mach = sub.add_parser("machine", help="print a machine-model calibration sheet")
+    mach.add_argument(
+        "name", nargs="?", default="cori-knl", choices=sorted(_MACHINES)
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for name, desc in EXPERIMENTS.items():
+        print(f"{name:<{width}}  {desc}")
+    return 0
+
+
+def _cmd_run(name: str, full: bool) -> int:
+    names = list(EXPERIMENTS) if name == "all" else [name]
+    for n in names:
+        module = importlib.import_module(f"repro.experiments.{n}")
+        result = module.run(fast=not full)
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_machine(name: str) -> int:
+    machine = _MACHINES[name]
+    print(f"machine model: {machine.name}")
+    for field in dataclasses.fields(machine):
+        print(f"  {field.name:<20} {getattr(machine, field.name)}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.name, args.full)
+    if args.command == "machine":
+        return _cmd_machine(args.name)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Bootstrap resampling for the two UoI stages.
+
+UoI_LASSO resamples iid rows; UoI_VAR must preserve temporal
+dependence, so it uses a *circular block bootstrap*: the rows of the
+lag matrices (each row already pairs a target ``X_t`` with its ``d``
+lags) are resampled in blocks of consecutive rows, wrapping around the
+end.  Model estimation additionally needs a held-out evaluation set
+per bootstrap (Algorithm 1 lines 14-16, Algorithm 2 lines 16-18):
+we split the rows into train/eval groups and bootstrap *within* the
+training group, leaving the evaluation rows untouched by resampling.
+
+All draws flow through an explicit ``numpy.random.Generator`` so the
+serial and distributed implementations can replay identical samples
+from a shared seed — the property the paper's randomized distribution
+relies on (every core derives the same global subsample indices).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "iid_bootstrap",
+    "bootstrap_train_eval",
+    "circular_block_bootstrap",
+    "block_train_eval",
+    "default_block_length",
+]
+
+
+def iid_bootstrap(n: int, rng: np.random.Generator, *, size: int | None = None) -> np.ndarray:
+    """Indices of an iid bootstrap: ``size`` draws from ``[0, n)`` with replacement."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    size = n if size is None else size
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    return rng.integers(0, n, size=size)
+
+
+def bootstrap_train_eval(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    train_frac: float = 0.8,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One estimation bootstrap: resampled training rows + held-out rows.
+
+    A random ``train_frac`` of the rows forms the training pool (then
+    bootstrapped with replacement to full pool size); the rest is the
+    evaluation set, disjoint from training so the prediction loss in
+    Algorithm 1 line 19 is honest.
+    """
+    if n < 2:
+        raise ValueError("need n >= 2 to split train/eval")
+    if not (0 < train_frac < 1):
+        raise ValueError("train_frac must lie in (0, 1)")
+    perm = rng.permutation(n)
+    n_train = max(1, min(n - 1, int(round(train_frac * n))))
+    train_pool = perm[:n_train]
+    eval_idx = np.sort(perm[n_train:])
+    train_idx = train_pool[rng.integers(0, n_train, size=n_train)]
+    return train_idx, eval_idx
+
+
+def default_block_length(n: int) -> int:
+    """Rate-optimal block length ``ceil(n ** (1/3))`` for ``n`` rows."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return max(1, math.ceil(n ** (1.0 / 3.0)))
+
+
+def circular_block_bootstrap(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    block_length: int | None = None,
+    size: int | None = None,
+) -> np.ndarray:
+    """Circular block bootstrap indices over ``[0, n)``.
+
+    Random block start positions are drawn uniformly; each block
+    contributes ``block_length`` consecutive indices (mod ``n``), and
+    blocks are concatenated until ``size`` indices are collected (the
+    tail block is truncated).  Consecutive in-block indices preserve
+    the local temporal dependence the paper's VAR bootstrap needs.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    L = default_block_length(n) if block_length is None else block_length
+    if L < 1:
+        raise ValueError("block_length must be >= 1")
+    L = min(L, n)
+    size = n if size is None else size
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    n_blocks = math.ceil(size / L)
+    starts = rng.integers(0, n, size=n_blocks)
+    idx = (starts[:, None] + np.arange(L)[None, :]) % n
+    return idx.reshape(-1)[:size]
+
+
+def block_train_eval(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    block_length: int | None = None,
+    train_frac: float = 0.8,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Estimation-stage block bootstrap with a held-out block segment.
+
+    The row range is cut into contiguous train/eval segments at a
+    random offset (keeping both segments temporally contiguous), the
+    training segment is block-bootstrapped, and the evaluation segment
+    is returned as-is.
+    """
+    if n < 4:
+        raise ValueError("need n >= 4 to split train/eval blocks")
+    if not (0 < train_frac < 1):
+        raise ValueError("train_frac must lie in (0, 1)")
+    L = default_block_length(n) if block_length is None else block_length
+    n_train = max(2, min(n - 2, int(round(train_frac * n))))
+    offset = int(rng.integers(0, n))
+    ring = (offset + np.arange(n)) % n
+    train_pool = np.sort(ring[:n_train])
+    eval_idx = np.sort(ring[n_train:])
+    picks = circular_block_bootstrap(
+        n_train, rng, block_length=min(L, n_train), size=n_train
+    )
+    return train_pool[picks], eval_idx

@@ -1,0 +1,535 @@
+"""Distributed UoI drivers (the paper's multi-node implementation).
+
+Ranks are organized into the paper's three-level hierarchy:
+
+    world  =  P_B bootstrap groups  x  P_lambda penalty groups
+              x  ADMM_cores consensus cores per cell
+
+(:class:`ProcessGrid`).  Each *cell* solves whole (bootstrap, λ)
+subproblems with consensus ADMM over its own sub-communicator; the
+Reduce steps are world-wide collectives:
+
+* selection's intersection (eq. 3) is one logical-AND ``Allreduce`` of
+  per-cell support masks (a mask defaults to all-True for (k, j) pairs
+  a cell did not own, the neutral element of intersection);
+* estimation's winner search is a MIN ``Allreduce`` of the
+  ``(B2, q)`` held-out-loss table, after which the owning cells
+  contribute their winners to a SUM ``Allreduce`` that forms the
+  union average (eq. 4).
+
+Bootstrap indices on every rank are replayed from the shared
+``random_state``, exactly as the paper's randomized data distribution
+assumes, so all data movement is one-sided Tier-2 traffic against the
+Tier-1 blocks loaded once at startup.
+
+:func:`distributed_uoi_lasso` expects the paper's ``InputData``
+layout: one ``(n, 1 + p)`` dataset whose column 0 is the response.
+:func:`distributed_uoi_var` runs Algorithm 2 with the
+distributed-Kronecker construction and a sparse consensus solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bootstrap import (
+    block_train_eval,
+    bootstrap_train_eval,
+    circular_block_bootstrap,
+    iid_bootstrap,
+)
+from repro.core.config import UoILassoConfig, UoIVarConfig
+from repro.core.estimation import best_support_per_bootstrap
+from repro.distribution.kron_dist import DistributedKron
+from repro.distribution.randomized import RandomizedDistributor
+from repro.linalg.consensus import consensus_lasso_admm
+from repro.pfs.hdf5 import SimH5File
+from repro.simmpi.clock import TimeCategory
+from repro.simmpi.comm import SimComm
+from repro.simmpi.reduce_ops import MIN, SUM
+from repro.var.lag import build_lag_matrices, partition_coefficients
+
+__all__ = [
+    "ProcessGrid",
+    "DistributedUoIResult",
+    "distributed_uoi_lasso",
+    "distributed_uoi_var",
+    "distributed_cv_lasso",
+]
+
+
+@dataclass
+class ProcessGrid:
+    """This rank's position in the P_B x P_lambda x ADMM hierarchy.
+
+    Attributes
+    ----------
+    world:
+        The full communicator.
+    cell:
+        Sub-communicator of this rank's (bootstrap-group, λ-group)
+        cell — the ADMM cores that jointly solve one subproblem.
+    pb, plam:
+        Grid extents.
+    b, l:
+        This rank's bootstrap-group and λ-group coordinates.
+    """
+
+    world: SimComm
+    cell: SimComm
+    pb: int
+    plam: int
+    b: int
+    l: int
+
+    @classmethod
+    def build(cls, comm: SimComm, pb: int = 1, plam: int = 1) -> "ProcessGrid":
+        """Split ``comm`` into a balanced P_B x P_lambda grid of cells.
+
+        ``comm.size`` must be divisible by ``pb * plam`` so every cell
+        gets the same number of ADMM cores (the paper's configurations
+        always are).
+        """
+        if pb < 1 or plam < 1:
+            raise ValueError(f"pb and plam must be >= 1, got {pb}, {plam}")
+        cells = pb * plam
+        if comm.size % cells != 0:
+            raise ValueError(
+                f"world size {comm.size} not divisible by pb*plam = {cells}"
+            )
+        per_cell = comm.size // cells
+        cell_id = comm.rank // per_cell
+        b, l = divmod(cell_id, plam)
+        cell = comm.split(cell_id)
+        return cls(world=comm, cell=cell, pb=pb, plam=plam, b=b, l=l)
+
+    @property
+    def admm_cores(self) -> int:
+        """Consensus cores per cell."""
+        return self.cell.size
+
+    def owns_bootstrap(self, k: int) -> bool:
+        """Round-robin bootstrap ownership: cell group ``b`` takes ``k ≡ b``."""
+        return k % self.pb == self.b
+
+    def owns_lambda(self, j: int) -> bool:
+        """Round-robin λ ownership: λ group ``l`` takes ``j ≡ l``."""
+        return j % self.plam == self.l
+
+
+@dataclass
+class DistributedUoIResult:
+    """Fit results, identical on every rank.
+
+    Attributes
+    ----------
+    coef:
+        Final averaged coefficients (``(p,)`` for UoI_LASSO; the
+        lifted ``vec B`` for UoI_VAR).
+    supports:
+        ``(q, p)`` intersected support family.
+    losses:
+        ``(B2, q)`` held-out loss table.
+    winners:
+        Winning support index per estimation bootstrap.
+    lambdas:
+        The λ grid.
+    """
+
+    coef: np.ndarray
+    supports: np.ndarray
+    losses: np.ndarray
+    winners: np.ndarray
+    lambdas: np.ndarray
+
+
+def _lambda_grid_from_corr(corr_max: float, num: int, eps: float) -> np.ndarray:
+    lmax = 2.0 * corr_max
+    if lmax <= 0:
+        lmax = 1.0
+    return lmax * np.logspace(0.0, np.log10(eps), num=num)
+
+
+def _draw_lasso_bootstraps(
+    n: int, config: UoILassoConfig
+) -> tuple[list[np.ndarray], list[tuple[np.ndarray, np.ndarray]]]:
+    """Replay the exact bootstrap sequence of the serial UoILasso."""
+    rng = np.random.default_rng(config.random_state)
+    selection = [
+        iid_bootstrap(n, rng) for _ in range(config.n_selection_bootstraps)
+    ]
+    estimation = [
+        bootstrap_train_eval(n, rng, train_frac=config.train_frac)
+        for _ in range(config.n_estimation_bootstraps)
+    ]
+    return selection, estimation
+
+
+def distributed_uoi_lasso(
+    comm: SimComm,
+    file: SimH5File,
+    dataset: str,
+    config: UoILassoConfig,
+    *,
+    pb: int = 1,
+    plam: int = 1,
+) -> DistributedUoIResult:
+    """Run distributed UoI_LASSO on an ``(n, 1 + p)`` dataset.
+
+    Column 0 of the dataset is the response ``y`` and the rest is the
+    design ``X`` (the paper's ``InputData ∈ R^{n x (p+1)}``).  The
+    call is collective over ``comm``; all ranks return the same
+    result.  ``fit_intercept`` is not supported here — center the data
+    when writing the file (the paper's synthetic data are centered).
+    """
+    if config.fit_intercept:
+        raise ValueError(
+            "distributed_uoi_lasso does not support fit_intercept; "
+            "center the data at generation time"
+        )
+    grid = ProcessGrid.build(comm, pb, plam)
+    dist = RandomizedDistributor(comm, file, dataset)
+    n = dist.n_rows
+    p = dist.n_cols - 1
+    q = config.n_lambdas
+    B1, B2 = config.n_selection_bootstraps, config.n_estimation_bootstraps
+
+    # λ grid from the full data: local X'y contributions summed.
+    y_loc = dist.tier1[:, 0]
+    X_loc = dist.tier1[:, 1:]
+    corr = comm.allreduce(X_loc.T @ y_loc, SUM)
+    lambdas = _lambda_grid_from_corr(
+        float(np.max(np.abs(corr))), q, config.lambda_min_ratio
+    )
+
+    selection_idx, estimation_idx = _draw_lasso_bootstraps(n, config)
+
+    # ------------------------- model selection -------------------------
+    # Per-λ selection *counts* (how many bootstraps kept each feature):
+    # SUM-reduced across the grid, then thresholded — which implements
+    # both the paper's strict intersection (frac = 1) and the soft
+    # variant.  Only a cell's rank 0 contributes, so the C consensus
+    # copies inside a cell are not double counted.
+    counts = np.zeros((q, p), dtype=np.int64)
+    for k in range(B1):
+        if not grid.owns_bootstrap(k):
+            continue
+        rows = dist.sample(selection_idx[k], subcomm=grid.cell)
+        Xb, yb = rows[:, 1:], rows[:, 0]
+        beta = None
+        for j in range(q):
+            if not grid.owns_lambda(j):
+                continue
+            res = consensus_lasso_admm(
+                grid.cell,
+                Xb,
+                yb,
+                float(lambdas[j]),
+                rho=config.rho,
+                max_iter=config.max_iter,
+                abstol=config.abstol,
+                reltol=config.reltol,
+                adapt_rho=config.adapt_rho,
+                beta0=beta,
+            )
+            beta = res.beta
+            if grid.cell.rank == 0:
+                counts[j] += beta != 0.0
+    counts = comm.allreduce(counts, SUM)
+    threshold = int(np.ceil(config.intersection_frac * B1))
+    family = counts >= threshold
+
+    # ------------------------- model estimation -------------------------
+    losses = np.full((B2, q), np.inf)
+    kept: dict[tuple[int, int], np.ndarray] = {}
+    for k in range(B2):
+        if not grid.owns_bootstrap(k):
+            continue
+        train_idx, eval_idx = estimation_idx[k]
+        train = dist.sample(train_idx, subcomm=grid.cell)
+        evaldata = dist.sample(eval_idx, subcomm=grid.cell)
+        X_tr, y_tr = train[:, 1:], train[:, 0]
+        X_ev, y_ev = evaldata[:, 1:], evaldata[:, 0]
+        for j in range(q):
+            if not grid.owns_lambda(j):
+                continue
+            cols = np.flatnonzero(family[j])
+            beta_full = np.zeros(p)
+            if cols.size:
+                res = consensus_lasso_admm(
+                    grid.cell,
+                    X_tr[:, cols],
+                    y_tr,
+                    0.0,
+                    rho=config.rho,
+                    max_iter=config.max_iter,
+                    abstol=config.abstol,
+                    reltol=config.reltol,
+                    adapt_rho=config.adapt_rho,
+                )
+                beta_full[cols] = res.beta
+            resid = y_ev - X_ev @ beta_full
+            sse_total = grid.cell.allreduce(float(resid @ resid), SUM)
+            losses[k, j] = sse_total / max(len(eval_idx), 1)
+            kept[(k, j)] = beta_full
+    losses = comm.allreduce(losses, MIN)
+    winners = best_support_per_bootstrap(losses, rule=config.selection_rule)
+
+    # Union average: the owning cell's rank-0 contributes each winner.
+    contrib = np.zeros(p)
+    for k in range(B2):
+        j = int(winners[k])
+        if (k, j) in kept and grid.cell.rank == 0:
+            contrib += kept[(k, j)]
+    coef = comm.allreduce(contrib, SUM) / B2
+
+    dist.close()
+    return DistributedUoIResult(
+        coef=coef, supports=family, losses=losses, winners=winners, lambdas=lambdas
+    )
+
+
+def distributed_uoi_var(
+    comm: SimComm,
+    series: np.ndarray | None,
+    config: UoIVarConfig,
+    *,
+    n_readers: int = 1,
+    pb: int = 1,
+    plam: int = 1,
+) -> DistributedUoIResult:
+    """Run distributed UoI_VAR (Algorithm 2) over ``comm``.
+
+    ``series`` (the raw ``(N, p)`` time series) must be supplied on the
+    ``n_readers`` leading ranks; other ranks may pass ``None``.  Every
+    bootstrap builds its lifted problem through the distributed
+    Kronecker path (readers expose the bootstrap lag matrices in RMA
+    windows, compute cores assemble sparse slices) and solves it with
+    sparse consensus ADMM.  All ranks return the same result; the
+    lifted coefficient vector can be rearranged with
+    :func:`repro.var.lag.partition_coefficients`.
+
+    With ``pb``/``plam`` > 1 (Fig. 8's algorithmic parallelism) the
+    communicator splits into a P_B x P_lambda grid of cells; the small
+    lag matrices are broadcast once so each cell's leading ranks can
+    act as its Kronecker readers, and the intersection/winner/union
+    reductions run world-wide exactly as in
+    :func:`distributed_uoi_lasso`.
+    """
+    lcfg = config.lasso
+    grid = ProcessGrid.build(comm, pb, plam)
+    gridded = pb * plam > 1
+    is_world_reader = comm.rank < n_readers
+    if is_world_reader:
+        if series is None:
+            raise ValueError("reader ranks must provide the series")
+        Y, X = build_lag_matrices(
+            series, config.order, add_intercept=config.fit_intercept
+        )
+        m, p = Y.shape
+        kdim = X.shape[1]
+        lmax_corr = float(np.max(np.abs(X.T @ Y)))
+        meta = (m, p, kdim, lmax_corr)
+    else:
+        meta, X, Y = None, None, None
+    m, p, kdim, lmax_corr = comm.bcast(meta, root=0)
+    if gridded:
+        # One broadcast of the (small) source matrices, so every cell's
+        # leading ranks can serve as that cell's readers.
+        X, Y = comm.bcast(
+            (X, Y) if comm.rank == 0 else None, root=0,
+            category=TimeCategory.DISTRIBUTION,
+        )
+    cell_readers = min(n_readers, grid.cell.size, m)
+    is_reader = (grid.cell.rank < cell_readers) if gridded else is_world_reader
+    q = lcfg.n_lambdas
+    B1, B2 = lcfg.n_selection_bootstraps, lcfg.n_estimation_bootstraps
+    lambdas = _lambda_grid_from_corr(lmax_corr, q, lcfg.lambda_min_ratio)
+
+    rng = np.random.default_rng(lcfg.random_state)
+    selection_idx = [
+        circular_block_bootstrap(m, rng, block_length=config.block_length)
+        for _ in range(B1)
+    ]
+    estimation_idx = [
+        block_train_eval(
+            m, rng, block_length=config.block_length, train_frac=lcfg.train_frac
+        )
+        for _ in range(B2)
+    ]
+
+    solver_comm = grid.cell if gridded else comm
+    kron_readers = cell_readers if gridded else n_readers
+
+    def lifted_local(idx: np.ndarray):
+        """Distributed-Kronecker assembly of the lifted slice for rows idx."""
+        if is_reader:
+            dk = DistributedKron(
+                solver_comm, X[idx], Y[idx], n_readers=kron_readers
+            )
+        else:
+            dk = DistributedKron(solver_comm, None, None, n_readers=kron_readers)
+        A_loc, b_loc, _ = dk.build_local()
+        dk.close()
+        return A_loc, b_loc
+
+    # ------------------------- model selection -------------------------
+    # Selection counts are SUM-reduced per λ; each cell contributes its
+    # owned (bootstrap, λ) pairs through its rank 0 only, so the C
+    # identical consensus copies inside a cell are not double counted
+    # (ungridded, the single cell spans the world and world rank 0
+    # contributes everything).
+    counts = np.zeros((q, kdim * p), dtype=np.int64)
+    for k in range(B1):
+        if not grid.owns_bootstrap(k):
+            continue
+        A_loc, b_loc = lifted_local(selection_idx[k])
+        beta = None
+        for j in range(q):
+            if not grid.owns_lambda(j):
+                continue
+            res = consensus_lasso_admm(
+                solver_comm,
+                A_loc,
+                b_loc,
+                float(lambdas[j]),
+                rho=lcfg.rho,
+                max_iter=lcfg.max_iter,
+                abstol=lcfg.abstol,
+                reltol=lcfg.reltol,
+                adapt_rho=lcfg.adapt_rho,
+                beta0=beta,
+            )
+            beta = res.beta
+            if grid.cell.rank == 0:
+                counts[j] += beta != 0.0
+    counts = comm.allreduce(counts, SUM)
+    family = counts >= int(np.ceil(lcfg.intersection_frac * B1))
+
+    # ------------------------- model estimation -------------------------
+    losses = np.full((B2, q), np.inf)
+    kept: dict[tuple[int, int], np.ndarray] = {}
+    for k in range(B2):
+        if not grid.owns_bootstrap(k):
+            continue
+        train_idx, eval_idx = estimation_idx[k]
+        A_tr, b_tr = lifted_local(train_idx)
+        A_ev, b_ev = lifted_local(eval_idx)
+        n_eval_total = len(eval_idx) * p
+        for j in range(q):
+            if not grid.owns_lambda(j):
+                continue
+            cols = np.flatnonzero(family[j])
+            beta_full = np.zeros(kdim * p)
+            if cols.size:
+                res = consensus_lasso_admm(
+                    solver_comm,
+                    A_tr[:, cols],
+                    b_tr,
+                    0.0,
+                    rho=lcfg.rho,
+                    max_iter=lcfg.max_iter,
+                    abstol=lcfg.abstol,
+                    reltol=lcfg.reltol,
+                    adapt_rho=lcfg.adapt_rho,
+                )
+                beta_full[cols] = res.beta
+            resid = b_ev - A_ev @ beta_full
+            sse = solver_comm.allreduce(float(resid @ resid), SUM)
+            losses[k, j] = sse / max(n_eval_total, 1)
+            kept[(k, j)] = beta_full
+    losses = comm.allreduce(losses, MIN)
+    winners = best_support_per_bootstrap(losses, rule=lcfg.selection_rule)
+
+    contrib = np.zeros(kdim * p)
+    for k in range(B2):
+        j = int(winners[k])
+        if (k, j) in kept and grid.cell.rank == 0:
+            contrib += kept[(k, j)]
+    coef = comm.allreduce(contrib, SUM) / B2
+
+    return DistributedUoIResult(
+        coef=coef, supports=family, losses=losses, winners=winners, lambdas=lambdas
+    )
+
+
+def distributed_cv_lasso(
+    comm: SimComm,
+    file: SimH5File,
+    dataset: str,
+    *,
+    n_lambdas: int = 16,
+    lambda_min_ratio: float = 1e-3,
+    k: int = 5,
+    rule: str = "min",
+    random_state: int = 0,
+    rho: float = 1.0,
+    max_iter: int = 500,
+    adapt_rho: bool = True,
+) -> tuple[np.ndarray, float, np.ndarray]:
+    """Distributed K-fold cross-validated LASSO (the paper's Fig. 1c).
+
+    The paper reuses the Tier-2 randomized distribution for "data
+    randomization for cross validation": fold membership is derived
+    from the shared seed, each fold's training rows are delivered by
+    one-sided shuffling against the resident Tier-1 blocks, and every
+    (fold, λ) problem is solved with consensus ADMM over the whole
+    communicator.  Returns ``(beta, lam_star, cv_losses)`` — identical
+    on every rank — where ``beta`` is the full-data refit at the
+    chosen penalty.
+
+    Parameters mirror :func:`repro.linalg.cv.cv_lasso`; the dataset is
+    the paper's ``(n, 1 + p)`` InputData layout (response in column 0).
+    """
+    from repro.core.bootstrap import iid_bootstrap  # noqa: F401 (doc aid)
+    from repro.linalg.cv import kfold_indices
+
+    if rule not in ("min", "1se"):
+        raise ValueError(f"rule must be 'min' or '1se', got {rule!r}")
+    dist = RandomizedDistributor(comm, file, dataset)
+    n, p = dist.n_rows, dist.n_cols - 1
+    rng = np.random.default_rng(random_state)
+    folds = kfold_indices(n, k, rng)
+
+    y_loc = dist.tier1[:, 0]
+    X_loc = dist.tier1[:, 1:]
+    corr = comm.allreduce(X_loc.T @ y_loc, SUM)
+    lambdas = _lambda_grid_from_corr(
+        float(np.max(np.abs(corr))), n_lambdas, lambda_min_ratio
+    )
+
+    losses = np.empty((k, n_lambdas))
+    for f, (train, test) in enumerate(folds):
+        train_rows = dist.sample(train)
+        test_rows = dist.sample(test)
+        X_tr, y_tr = train_rows[:, 1:], train_rows[:, 0]
+        X_te, y_te = test_rows[:, 1:], test_rows[:, 0]
+        beta = None
+        for j, lam in enumerate(lambdas):
+            res = consensus_lasso_admm(
+                comm, X_tr, y_tr, float(lam),
+                rho=rho, max_iter=max_iter, adapt_rho=adapt_rho, beta0=beta,
+            )
+            beta = res.beta
+            resid = y_te - X_te @ beta
+            sse = comm.allreduce(float(resid @ resid), SUM)
+            losses[f, j] = sse / max(len(test), 1)
+
+    cv_loss = losses.mean(axis=0)
+    jmin = int(np.argmin(cv_loss))
+    if rule == "1se" and k >= 2:
+        se = losses.std(axis=0, ddof=1) / np.sqrt(k)
+        j_star = int(np.argmax(cv_loss <= cv_loss[jmin] + se[jmin]))
+    else:
+        j_star = jmin
+    lam_star = float(lambdas[j_star])
+
+    # Full-data refit at the chosen penalty, straight off Tier-1.
+    res = consensus_lasso_admm(
+        comm, X_loc, y_loc, lam_star,
+        rho=rho, max_iter=max_iter, adapt_rho=adapt_rho,
+    )
+    dist.close()
+    return res.beta, lam_star, cv_loss

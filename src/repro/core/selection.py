@@ -1,0 +1,112 @@
+"""Model selection: the *intersection* step (paper eq. 3).
+
+For every regularization value λ_j, the LASSO support is computed on
+each of the ``B1`` selection bootstraps, and the candidate support is
+their intersection
+
+    S_j = ∩_{k=1..B1} S_j^k
+
+which strips the false positives individual LASSO fits admit.  The
+family ``S = [S_1 ... S_q]`` then feeds model estimation.  Supports
+are represented as boolean masks of length ``p`` (feature count), and
+per-bootstrap collections as ``(q, p)`` mask matrices — the same
+representation the distributed driver AND-reduces across ranks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["support_of", "intersect_supports", "support_family", "unique_supports"]
+
+
+def support_of(beta: np.ndarray, *, tol: float = 0.0) -> np.ndarray:
+    """Boolean support mask ``{i : |beta_i| > tol}``."""
+    beta = np.asarray(beta)
+    if beta.ndim != 1:
+        raise ValueError(f"beta must be 1-D, got shape {beta.shape}")
+    return np.abs(beta) > tol
+
+
+def intersect_supports(masks: np.ndarray, *, frac: float = 1.0) -> np.ndarray:
+    """Intersection over the leading (bootstrap) axis.
+
+    Parameters
+    ----------
+    masks:
+        ``(B, p)`` or ``(B, q, p)`` boolean array of per-bootstrap
+        supports.
+    frac:
+        *Soft-intersection* threshold in ``(0, 1]``: a feature
+        survives when it appears in at least ``ceil(frac * B)``
+        bootstraps.  ``frac = 1.0`` (default) is the paper's strict
+        intersection (eq. 3); smaller values trade false-negative risk
+        against false positives, the generalization offered by the
+        reference PyUoI package's ``selection_frac``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(p,)`` or ``(q, p)`` intersected mask(s).
+    """
+    masks = np.asarray(masks, dtype=bool)
+    if masks.ndim not in (2, 3):
+        raise ValueError(f"masks must be (B, p) or (B, q, p), got {masks.shape}")
+    B = masks.shape[0]
+    if B < 1:
+        raise ValueError("need at least one bootstrap")
+    if not (0.0 < frac <= 1.0):
+        raise ValueError(f"frac must lie in (0, 1], got {frac}")
+    if frac == 1.0:
+        return np.logical_and.reduce(masks, axis=0)
+    threshold = int(np.ceil(frac * B))
+    return masks.sum(axis=0) >= threshold
+
+
+def support_family(
+    betas: np.ndarray,
+    *,
+    tol: float = 0.0,
+    frac: float = 1.0,
+) -> np.ndarray:
+    """Per-λ intersected supports from raw bootstrap estimates.
+
+    Parameters
+    ----------
+    betas:
+        ``(B1, q, p)`` LASSO estimates (bootstrap x λ x feature).
+    tol:
+        Magnitude below which a coefficient counts as zero.
+    frac:
+        Soft-intersection threshold (see :func:`intersect_supports`).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(q, p)`` boolean family ``S = [S_1 ... S_q]``.
+    """
+    betas = np.asarray(betas)
+    if betas.ndim != 3:
+        raise ValueError(f"betas must be (B1, q, p), got {betas.shape}")
+    return intersect_supports(np.abs(betas) > tol, frac=frac)
+
+
+def unique_supports(family: np.ndarray) -> np.ndarray:
+    """Drop duplicate supports from a ``(q, p)`` family, preserving order.
+
+    Nested λ grids frequently repeat supports; estimating each distinct
+    support once is an exact optimization (the OLS fit depends only on
+    the support).  The all-false support is kept if present — the null
+    model is a legitimate candidate.
+    """
+    family = np.asarray(family, dtype=bool)
+    if family.ndim != 2:
+        raise ValueError(f"family must be (q, p), got {family.shape}")
+    seen: set[bytes] = set()
+    keep: list[int] = []
+    for j, mask in enumerate(family):
+        key = np.packbits(mask).tobytes()
+        if key not in seen:
+            seen.add(key)
+            keep.append(j)
+    return family[keep]

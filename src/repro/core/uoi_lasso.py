@@ -1,0 +1,199 @@
+"""Serial UoI_LASSO estimator (paper Algorithm 1).
+
+Two Map-Solve-Reduce stages:
+
+* **Model selection** — ``B1`` iid bootstraps x ``q`` penalties solved
+  with LASSO-ADMM (warm-started down the λ path); per-λ supports
+  intersected across bootstraps into the family ``S``.
+* **Model estimation** — ``B2`` train/eval bootstraps; OLS per
+  candidate support on the training resample, scored on the held-out
+  rows; the per-bootstrap winners averaged into the final model.
+
+This serial implementation is the numerical reference the distributed
+driver (:mod:`repro.core.parallel`) is tested against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bootstrap import bootstrap_train_eval, iid_bootstrap
+from repro.core.config import UoILassoConfig
+from repro.core.estimation import (
+    best_support_per_bootstrap,
+    prediction_loss,
+    union_average,
+)
+from repro.core.selection import support_family
+from repro.linalg.admm import LassoADMM
+from repro.linalg.cd import lasso_cd
+from repro.linalg.lambda_grid import lambda_grid
+from repro.linalg.ols import ols_on_support
+
+__all__ = ["UoILasso"]
+
+
+class UoILasso:
+    """Union-of-Intersections sparse linear regression.
+
+    Parameters
+    ----------
+    config:
+        Full hyperparameter bundle; ``None`` uses defaults.
+    **overrides:
+        Convenience keyword overrides applied on top of ``config``
+        (e.g. ``UoILasso(n_lambdas=8, random_state=3)``).
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    coef_:
+        ``(p,)`` final averaged model.
+    intercept_:
+        Fitted intercept (0.0 unless ``fit_intercept``).
+    lambdas_:
+        The λ grid used in selection.
+    supports_:
+        ``(q, p)`` boolean family of intersected supports.
+    losses_:
+        ``(B2, q)`` held-out losses from estimation.
+    winners_:
+        ``(B2,)`` winning support index per estimation bootstrap.
+    """
+
+    def __init__(self, config: UoILassoConfig | None = None, **overrides) -> None:
+        config = config or UoILassoConfig()
+        if overrides:
+            config = config.with_(**overrides)
+        self.config = config
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self.lambdas_: np.ndarray | None = None
+        self.supports_: np.ndarray | None = None
+        self.losses_: np.ndarray | None = None
+        self.winners_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _solve_path(
+        self, X: np.ndarray, y: np.ndarray, lambdas: np.ndarray
+    ) -> np.ndarray:
+        """LASSO estimates for all λ on one bootstrap sample: ``(q, p)``."""
+        cfg = self.config
+        q, p = len(lambdas), X.shape[1]
+        out = np.empty((q, p))
+        if cfg.solver == "admm":
+            solver = LassoADMM(
+                X,
+                y,
+                rho=cfg.rho,
+                max_iter=cfg.max_iter,
+                abstol=cfg.abstol,
+                reltol=cfg.reltol,
+                adapt_rho=cfg.adapt_rho,
+            )
+            beta = None
+            for j, lam in enumerate(lambdas):
+                res = solver.solve(float(lam), beta0=beta)
+                beta = res.beta
+                out[j] = beta
+        else:
+            beta = None
+            for j, lam in enumerate(lambdas):
+                beta = lasso_cd(
+                    X, y, float(lam), beta0=beta, max_iter=cfg.max_iter,
+                    tol=cfg.cd_tol,
+                )
+                out[j] = beta
+        return out
+
+    def _estimate_family(
+        self,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+        family: np.ndarray,
+    ) -> np.ndarray:
+        """Per-support OLS with caching of duplicate supports."""
+        q, p = family.shape
+        out = np.zeros((q, p))
+        cache: dict[bytes, np.ndarray] = {}
+        for j in range(q):
+            key = np.packbits(family[j]).tobytes()
+            if key not in cache:
+                cache[key] = ols_on_support(X_train, y_train, family[j])
+            out[j] = cache[key]
+        return out
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "UoILasso":
+        """Run selection + estimation on ``(X, y)``; returns ``self``."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        n, p = X.shape
+        if y.shape != (n,):
+            raise ValueError(f"y shape {y.shape} incompatible with X {X.shape}")
+        cfg = self.config
+
+        x_mean = X.mean(axis=0) if cfg.fit_intercept else np.zeros(p)
+        y_mean = float(y.mean()) if cfg.fit_intercept else 0.0
+        Xc = X - x_mean
+        yc = y - y_mean
+
+        lambdas = lambda_grid(
+            Xc, yc, num=cfg.n_lambdas, eps=cfg.lambda_min_ratio
+        )
+        rng = np.random.default_rng(cfg.random_state)
+
+        # -------------------- model selection --------------------
+        B1, q = cfg.n_selection_bootstraps, cfg.n_lambdas
+        betas = np.empty((B1, q, p))
+        for k in range(B1):
+            idx = iid_bootstrap(n, rng)
+            betas[k] = self._solve_path(Xc[idx], yc[idx], lambdas)
+        family = support_family(betas, frac=cfg.intersection_frac)
+
+        # -------------------- model estimation --------------------
+        B2 = cfg.n_estimation_bootstraps
+        losses = np.empty((B2, q))
+        estimates = np.empty((B2, q, p))
+        for k in range(B2):
+            train_idx, eval_idx = bootstrap_train_eval(
+                n, rng, train_frac=cfg.train_frac
+            )
+            est = self._estimate_family(Xc[train_idx], yc[train_idx], family)
+            estimates[k] = est
+            for j in range(q):
+                losses[k, j] = prediction_loss(Xc[eval_idx], yc[eval_idx], est[j])
+        winners = best_support_per_bootstrap(losses, rule=cfg.selection_rule)
+        coef = union_average(estimates[np.arange(B2), winners])
+
+        self.coef_ = coef
+        self.intercept_ = y_mean - float(x_mean @ coef)
+        self.lambdas_ = lambdas
+        self.supports_ = family
+        self.losses_ = losses
+        self.winners_ = winners
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted responses for new rows."""
+        if self.coef_ is None:
+            raise RuntimeError("call fit() before predict()")
+        return np.asarray(X, dtype=float) @ self.coef_ + self.intercept_
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Coefficient of determination R² on ``(X, y)``."""
+        y = np.asarray(y, dtype=float)
+        resid = y - self.predict(X)
+        denom = float(((y - y.mean()) ** 2).sum())
+        if denom == 0.0:
+            return 0.0
+        return 1.0 - float((resid**2).sum()) / denom
+
+    @property
+    def selected_mask_(self) -> np.ndarray:
+        """Boolean support of the final model."""
+        if self.coef_ is None:
+            raise RuntimeError("call fit() first")
+        return self.coef_ != 0.0

@@ -1,0 +1,293 @@
+"""Serial UoI_VAR estimator (paper Algorithm 2).
+
+UoI_LASSO adapted to VAR(d) inference:
+
+* the series is rearranged into the lag matrices ``(Y, X)`` of
+  eqs. 7-8 and, conceptually, lifted to ``vec Y = (I ⊗ X) vec B``
+  (eq. 9);
+* bootstraps are *circular block bootstraps* over lag-matrix rows, so
+  temporal dependence survives resampling;
+* selection intersects supports of the lifted coefficient vector
+  across bootstraps per λ (one shared λ across all output columns, as
+  in the lifted formulation);
+* estimation fits OLS per candidate support, scores total held-out
+  prediction loss, picks one winner per bootstrap and averages;
+* the averaged ``vec B`` is partitioned back into
+  ``(A_1, ..., A_d)`` and ``mu`` (Algorithm 2 line 31).
+
+Because the lifted design is block diagonal, the λ-path solves
+decompose exactly into one LASSO per output column
+(:func:`repro.linalg.kron.kron_lasso_columnwise`); this serial
+implementation exploits that, while the distributed driver can also
+run the materialized lifted problem through the distributed Kronecker
+path — tests pin the two to the same answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bootstrap import block_train_eval, circular_block_bootstrap
+from repro.core.config import UoIVarConfig
+from repro.core.estimation import best_support_per_bootstrap, union_average
+from repro.core.selection import intersect_supports
+from repro.linalg.admm import LassoADMM
+from repro.linalg.cd import lasso_cd, precompute_gram
+from repro.linalg.ols import ols_on_support
+from repro.var.diagnostics import diagnose
+from repro.var.forecast import forecast, forecast_intervals
+from repro.var.granger import granger_digraph, network_summary
+from repro.var.lag import build_lag_matrices, partition_coefficients
+
+__all__ = ["UoIVar"]
+
+
+class UoIVar:
+    """Union-of-Intersections VAR(d) inference.
+
+    Parameters
+    ----------
+    config:
+        Full hyperparameter bundle; ``None`` uses defaults.
+    **overrides:
+        Keyword overrides applied to ``config`` (e.g.
+        ``UoIVar(order=2)``).  Keys not on :class:`UoIVarConfig` are
+        forwarded to the inner :class:`UoILassoConfig` (e.g.
+        ``UoIVar(n_selection_bootstraps=40)``).
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    coefs_:
+        Fitted ``[A_1, ..., A_d]``.
+    intercept_:
+        Fitted ``mu`` (zeros unless ``fit_intercept``).
+    vec_coef_:
+        The averaged lifted coefficient vector ``vec B``.
+    lambdas_, supports_, losses_, winners_:
+        As in :class:`repro.core.uoi_lasso.UoILasso`, but over lifted
+        coefficients (masks have length ``k * p``).
+    """
+
+    def __init__(self, config: UoIVarConfig | None = None, **overrides) -> None:
+        config = config or UoIVarConfig()
+        if overrides:
+            outer = {
+                k: v for k, v in overrides.items() if k in UoIVarConfig.__dataclass_fields__
+            }
+            inner = {k: v for k, v in overrides.items() if k not in outer}
+            if inner:
+                outer["lasso"] = config.lasso.with_(**inner)
+            config = config.with_(**outer)
+        self.config = config
+        self.coefs_: list[np.ndarray] | None = None
+        self.intercept_: np.ndarray | None = None
+        self.vec_coef_: np.ndarray | None = None
+        self.lambdas_: np.ndarray | None = None
+        self.supports_: np.ndarray | None = None
+        self.losses_: np.ndarray | None = None
+        self.winners_: np.ndarray | None = None
+        self._p: int | None = None
+        self._kdim: int | None = None
+
+    # ------------------------------------------------------------------
+    def _lambda_grid(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        """λ grid anchored at the lifted problem's ``λ_max``.
+
+        ``λ_max = 2 max |(I ⊗ X)' vec Y| = 2 max_c max_j |x_j' Y[:, c]|``.
+        """
+        cfg = self.config.lasso
+        lmax = 2.0 * float(np.max(np.abs(X.T @ Y)))
+        if lmax <= 0:
+            lmax = 1.0
+        return lmax * np.logspace(
+            0.0, np.log10(cfg.lambda_min_ratio), num=cfg.n_lambdas
+        )
+
+    def _solve_path_columns(
+        self, X: np.ndarray, Y: np.ndarray, lambdas: np.ndarray
+    ) -> np.ndarray:
+        """Lifted λ-path via exact column decomposition: ``(q, kdim * p)``.
+
+        Column ``c``'s coefficients occupy the slice
+        ``[c * kdim, (c+1) * kdim)`` of ``vec B``.
+        """
+        cfg = self.config.lasso
+        q = len(lambdas)
+        kdim, p = X.shape[1], Y.shape[1]
+        out = np.empty((q, kdim * p))
+        solver = None
+        gram_cache = None
+        if cfg.solver == "cd":
+            # Covariance-update CD: one X'X per bootstrap serves every
+            # column and penalty (the cd analogue of the shared ADMM
+            # factorization).
+            gram, _, col_sq = precompute_gram(X)
+            gram_cache = (gram, col_sq)
+        if cfg.solver == "admm":
+            # One factorization serves every output column: the Gram
+            # depends on X alone (see LassoADMM.set_response).
+            solver = LassoADMM(
+                X,
+                Y[:, 0],
+                rho=cfg.rho,
+                max_iter=cfg.max_iter,
+                abstol=cfg.abstol,
+                reltol=cfg.reltol,
+                adapt_rho=cfg.adapt_rho,
+            )
+        for c in range(p):
+            yc = Y[:, c]
+            beta = None
+            if cfg.solver == "admm":
+                solver.set_response(yc)
+                for j, lam in enumerate(lambdas):
+                    res = solver.solve(float(lam), beta0=beta)
+                    beta = res.beta
+                    out[j, c * kdim : (c + 1) * kdim] = beta
+            else:
+                triple = (gram_cache[0], X.T @ yc, gram_cache[1])
+                for j, lam in enumerate(lambdas):
+                    beta = lasso_cd(
+                        X, yc, float(lam), beta0=beta,
+                        max_iter=cfg.max_iter, tol=cfg.cd_tol,
+                        precomputed=triple,
+                    )
+                    out[j, c * kdim : (c + 1) * kdim] = beta
+        return out
+
+    def _ols_family_columns(
+        self, X: np.ndarray, Y: np.ndarray, family: np.ndarray
+    ) -> np.ndarray:
+        """Per-support OLS on the lifted problem, column-decomposed."""
+        q = family.shape[0]
+        kdim, p = X.shape[1], Y.shape[1]
+        out = np.zeros((q, kdim * p))
+        cache: dict[bytes, np.ndarray] = {}
+        for j in range(q):
+            for c in range(p):
+                mask = family[j, c * kdim : (c + 1) * kdim]
+                key = bytes([c]) + np.packbits(mask).tobytes()
+                if key not in cache:
+                    cache[key] = ols_on_support(X, Y[:, c], mask)
+                out[j, c * kdim : (c + 1) * kdim] = cache[key]
+        return out
+
+    @staticmethod
+    def _lifted_loss(X: np.ndarray, Y: np.ndarray, vec_beta: np.ndarray) -> float:
+        """Mean squared error of ``vec B`` over all output columns."""
+        kdim, p = X.shape[1], Y.shape[1]
+        B = vec_beta.reshape((kdim, p), order="F")
+        resid = Y - X @ B
+        return float((resid**2).sum() / max(resid.size, 1))
+
+    # ------------------------------------------------------------------
+    def fit(self, series: np.ndarray) -> "UoIVar":
+        """Infer the VAR(d) model from an ``(N, p)`` series; returns ``self``."""
+        cfg = self.config
+        lcfg = cfg.lasso
+        Y, X = build_lag_matrices(
+            series, cfg.order, add_intercept=cfg.fit_intercept
+        )
+        m, p = Y.shape
+        kdim = X.shape[1]
+        self._p, self._kdim = p, kdim
+        lambdas = self._lambda_grid(X, Y)
+        rng = np.random.default_rng(lcfg.random_state)
+        L = cfg.block_length
+
+        # -------------------- model selection --------------------
+        B1, q = lcfg.n_selection_bootstraps, lcfg.n_lambdas
+        masks = np.empty((B1, q, kdim * p), dtype=bool)
+        for k in range(B1):
+            idx = circular_block_bootstrap(m, rng, block_length=L)
+            betas = self._solve_path_columns(X[idx], Y[idx], lambdas)
+            masks[k] = betas != 0.0
+        family = intersect_supports(masks, frac=lcfg.intersection_frac)
+
+        # -------------------- model estimation --------------------
+        B2 = lcfg.n_estimation_bootstraps
+        losses = np.empty((B2, q))
+        estimates = np.empty((B2, q, kdim * p))
+        for k in range(B2):
+            train_idx, eval_idx = block_train_eval(
+                m, rng, block_length=L, train_frac=lcfg.train_frac
+            )
+            est = self._ols_family_columns(X[train_idx], Y[train_idx], family)
+            estimates[k] = est
+            for j in range(q):
+                losses[k, j] = self._lifted_loss(X[eval_idx], Y[eval_idx], est[j])
+        winners = best_support_per_bootstrap(losses, rule=lcfg.selection_rule)
+        vec_coef = union_average(estimates[np.arange(B2), winners])
+
+        coefs, mu = partition_coefficients(
+            vec_coef, p, cfg.order, has_intercept=cfg.fit_intercept
+        )
+        self.coefs_ = coefs
+        self.intercept_ = mu
+        self.vec_coef_ = vec_coef
+        self.lambdas_ = lambdas
+        self.supports_ = family
+        self.losses_ = losses
+        self.winners_ = winners
+        return self
+
+    # ------------------------------------------------------------------
+    def predict_next(self, history: np.ndarray) -> np.ndarray:
+        """One-step-ahead forecast from the last ``d`` rows of ``history``."""
+        if self.coefs_ is None:
+            raise RuntimeError("call fit() before predict_next()")
+        history = np.asarray(history, dtype=float)
+        d = self.config.order
+        if history.ndim != 2 or history.shape[0] < d:
+            raise ValueError(f"history must have >= {d} rows")
+        x = self.intercept_.copy()
+        for j, A in enumerate(self.coefs_, start=1):
+            x = x + A @ history[-j]
+        return x
+
+    def forecast(self, history: np.ndarray, steps: int) -> np.ndarray:
+        """h-step-ahead point forecast from the fitted coefficients."""
+        if self.coefs_ is None:
+            raise RuntimeError("call fit() before forecast()")
+        return forecast(self.coefs_, history, steps, intercept=self.intercept_)
+
+    def forecast_intervals(
+        self,
+        history: np.ndarray,
+        steps: int,
+        *,
+        level: float = 0.9,
+        n_paths: int = 500,
+        rng: np.random.Generator | None = None,
+    ):
+        """Simulation-based predictive intervals (see
+        :func:`repro.var.forecast.forecast_intervals`)."""
+        if self.coefs_ is None:
+            raise RuntimeError("call fit() before forecast_intervals()")
+        return forecast_intervals(
+            self.coefs_, history, steps,
+            intercept=self.intercept_, level=level, n_paths=n_paths, rng=rng,
+        )
+
+    def diagnose(self, series: np.ndarray, *, lags: int = 10):
+        """Residual-adequacy checks of this fit on a series (see
+        :func:`repro.var.diagnostics.diagnose`)."""
+        if self.coefs_ is None:
+            raise RuntimeError("call fit() before diagnose()")
+        return diagnose(
+            series, self.coefs_,
+            intercept=self.intercept_ if self.config.fit_intercept else None,
+            lags=lags,
+        )
+
+    def granger_graph(self, *, labels: list[str] | None = None, tol: float = 0.0):
+        """Inferred Granger network as a ``networkx.DiGraph`` (Fig. 11)."""
+        if self.coefs_ is None:
+            raise RuntimeError("call fit() before granger_graph()")
+        return granger_digraph(self.coefs_, labels=labels, tol=tol)
+
+    def network_summary(self, *, tol: float = 0.0) -> dict:
+        """Headline network statistics (edge counts, density, degrees)."""
+        if self.coefs_ is None:
+            raise RuntimeError("call fit() before network_summary()")
+        return network_summary(self.coefs_, tol=tol)

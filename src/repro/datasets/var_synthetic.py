@@ -1,0 +1,142 @@
+"""Random sparse stable VAR generators (the UoI_VAR synthetic family).
+
+The paper's UoI_VAR data sets range from 356 features (128 GB lifted
+problem) to 1,000 features (8 TB), with the number of samples "twice
+the size of the features".  These helpers plant a random sparse edge
+structure, rescale it to a target companion spectral radius (so the
+process is stable by construction) and simulate the series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.var.model import VARProcess, spectral_radius
+
+__all__ = [
+    "random_sparse_coefs",
+    "make_sparse_var",
+    "SparseVAR",
+    "features_for_gigabytes",
+]
+
+
+def random_sparse_coefs(
+    p: int,
+    order: int,
+    *,
+    density: float = 0.1,
+    target_radius: float = 0.7,
+    include_diagonal: bool = True,
+    rng: np.random.Generator | None = None,
+) -> list[np.ndarray]:
+    """Random sparse ``[A_1 ... A_d]`` rescaled to a stable spectral radius.
+
+    Parameters
+    ----------
+    p:
+        Process dimension.
+    order:
+        VAR order ``d``.
+    density:
+        Fraction of off-diagonal entries that are nonzero (per lag).
+    target_radius:
+        Companion spectral radius after rescaling; must be in (0, 1).
+    include_diagonal:
+        Give every node a self-edge in ``A_1`` (autocorrelation),
+        typical of real series.
+    rng:
+        Randomness source.
+    """
+    if p < 1 or order < 1:
+        raise ValueError("p and order must be >= 1")
+    if not (0 <= density <= 1):
+        raise ValueError("density must lie in [0, 1]")
+    if not (0 < target_radius < 1):
+        raise ValueError("target_radius must lie in (0, 1)")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    coefs = []
+    for lag in range(order):
+        A = np.zeros((p, p))
+        mask = rng.random((p, p)) < density
+        np.fill_diagonal(mask, False)
+        vals = rng.uniform(0.3, 1.0, size=mask.sum()) * rng.choice(
+            [-1.0, 1.0], size=mask.sum()
+        )
+        A[mask] = vals
+        if include_diagonal and lag == 0:
+            np.fill_diagonal(A, rng.uniform(0.3, 0.9, size=p))
+        coefs.append(A)
+
+    radius = spectral_radius(coefs)
+    if radius > 0:
+        scale = target_radius / radius
+        # Lag-j blocks scale like s^j under a companion similarity
+        # transform, preserving the sparsity pattern exactly.
+        coefs = [A * scale ** (j + 1) for j, A in enumerate(coefs)]
+    return coefs
+
+
+@dataclass
+class SparseVAR:
+    """A generated VAR problem with ground truth.
+
+    Attributes
+    ----------
+    process:
+        The true :class:`~repro.var.model.VARProcess`.
+    series:
+        Simulated ``(n_samples, p)`` observations.
+    support:
+        ``(d, p, p)`` boolean mask of true nonzero coefficients.
+    """
+
+    process: VARProcess
+    series: np.ndarray
+    support: np.ndarray
+
+
+def make_sparse_var(
+    p: int,
+    n_samples: int | None = None,
+    *,
+    order: int = 1,
+    density: float = 0.1,
+    target_radius: float = 0.7,
+    noise_std: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> SparseVAR:
+    """Generate a sparse stable VAR and simulate it.
+
+    ``n_samples`` defaults to ``2 * p``, the paper's convention for
+    its synthetic UoI_VAR data sets.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    n_samples = 2 * p if n_samples is None else n_samples
+    if n_samples < order + 1:
+        raise ValueError(f"n_samples must exceed order; got {n_samples} <= {order}")
+    coefs = random_sparse_coefs(
+        p, order, density=density, target_radius=target_radius, rng=rng
+    )
+    proc = VARProcess(coefs, noise_cov=noise_std**2 * np.eye(p))
+    series = proc.simulate(n_samples, rng)
+    return SparseVAR(process=proc, series=series, support=proc.support())
+
+
+def features_for_gigabytes(gigabytes: float, *, order: int = 1) -> int:
+    """Feature count whose *lifted* VAR problem is ``gigabytes`` GB.
+
+    The lifted design ``(I_p ⊗ X)`` has ``≈ p^2`` rows by ``d p^2``
+    columns of float64, i.e. ``8 d p^4`` bytes — the "≈ p^3 relative
+    to the data" explosion.  Inverting gives
+    ``p = (bytes / (8 d)) ** (1/4)``, which hits the paper's anchors:
+    128 GB → 361 (paper: 356) and 8 TB → 1024 (paper: 1000).
+    """
+    if gigabytes <= 0:
+        raise ValueError("gigabytes must be > 0")
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    return max(2, int(round((gigabytes * 1024**3 / (8.0 * order)) ** 0.25)))

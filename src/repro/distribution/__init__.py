@@ -1,0 +1,40 @@
+"""Data distribution strategies (the paper's Section III contributions).
+
+UoI needs *many random bootstrap subsamples* of the data delivered to
+compute cores.  How the data gets from the file to the cores is the
+paper's main systems contribution; this package implements all three
+strategies it discusses:
+
+* :mod:`repro.distribution.conventional` — the baseline: one core
+  reads the file through serial HDF5, a chunk at a time, re-opening
+  the file, then scatters rows.  This is the slow column of Table II.
+* :mod:`repro.distribution.randomized` — the paper's Randomized Data
+  Distribution: Tier-0 the file, Tier-1 a one-time parallel contiguous
+  hyperslab read into core memory, Tier-2 MPI one-sided random Gets
+  that assemble every bootstrap subsample from the resident Tier-1
+  blocks.  This is the fast column of Table II and the "Distribution"
+  bar of the UoI_LASSO figures.
+* :mod:`repro.distribution.kron_dist` — the distributed Kronecker
+  product + vectorization for UoI_VAR: ``n_reader`` processes hold the
+  (small) lag matrices X and Y, expose them in RMA windows, and every
+  compute core Gets exactly the rows it needs to assemble its slice of
+  the (huge, never-centrally-materialized) lifted problem
+  ``(I ⊗ X, vec Y)``.
+* :mod:`repro.distribution.kron_ca` — the *communication-avoiding*
+  alternative the paper's Discussion proposes: broadcast the small
+  source matrices once, assemble every lifted slice locally.
+"""
+
+from repro.distribution.conventional import ConventionalDistributor
+from repro.distribution.randomized import RandomizedDistributor
+from repro.distribution.kron_dist import DistributedKron, lifted_row_block
+from repro.distribution.kron_ca import BroadcastKron, ca_kron_model_time
+
+__all__ = [
+    "ConventionalDistributor",
+    "RandomizedDistributor",
+    "DistributedKron",
+    "lifted_row_block",
+    "BroadcastKron",
+    "ca_kron_model_time",
+]

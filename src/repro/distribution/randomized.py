@@ -1,0 +1,144 @@
+"""Randomized Data Distribution (three-tier, the paper's Fig. 1a).
+
+Tier-0 is the HDF5 file; Tier-1 reads it **once**, in parallel, in
+contiguous row blocks (one per rank, via hyperslabs); Tier-2 serves
+every subsequent bootstrap subsample with MPI one-sided Gets against
+the resident Tier-1 blocks — no further filesystem traffic.  Rows are
+block-striped: with N rows and B ranks, each rank owns ≈ N/B
+consecutive rows and ends every ``sample`` call holding its ≈ n/B
+slice of the requested bootstrap rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pfs.hdf5 import Hyperslab, SimH5File
+from repro.simmpi.clock import TimeCategory
+from repro.simmpi.comm import SimComm
+from repro.simmpi.window import Window
+
+__all__ = ["RandomizedDistributor", "block_bounds"]
+
+
+def block_bounds(n: int, size: int, rank: int) -> tuple[int, int]:
+    """Row range ``[lo, hi)`` of ``rank`` under balanced block striping.
+
+    The first ``n % size`` ranks get one extra row, matching
+    ``numpy.array_split`` semantics.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if not (0 <= rank < size):
+        raise ValueError(f"rank {rank} out of range for size {size}")
+    base, extra = divmod(n, size)
+    lo = rank * base + min(rank, extra)
+    hi = lo + base + (1 if rank < extra else 0)
+    return lo, hi
+
+
+class RandomizedDistributor:
+    """Per-rank handle on a three-tier randomized distribution.
+
+    Construction is collective over ``comm`` and performs the Tier-1
+    parallel read; each :meth:`sample` call is the Tier-2 shuffle for
+    one bootstrap subsample.
+
+    Parameters
+    ----------
+    comm:
+        Communicator whose ranks will jointly hold the data.
+    file:
+        Source :class:`~repro.pfs.hdf5.SimH5File` (Tier-0).
+    dataset:
+        Name of the 2-D (samples x features) dataset to distribute.
+    """
+
+    def __init__(self, comm: SimComm, file: SimH5File, dataset: str) -> None:
+        self.comm = comm
+        ds = file.dataset(dataset)
+        if ds.data.ndim != 2:
+            raise ValueError(f"dataset {dataset!r} must be 2-D, got {ds.shape}")
+        self.n_rows, self.n_cols = ds.shape
+        if self.n_rows < comm.size:
+            raise ValueError(
+                f"{self.n_rows} rows cannot be block-striped over "
+                f"{comm.size} ranks"
+            )
+        # Tier-1: one collective contiguous read.
+        lo, hi = block_bounds(self.n_rows, comm.size, comm.rank)
+        self._lo, self._hi = lo, hi
+        self.tier1 = file.read_parallel(
+            comm, dataset, Hyperslab.rows(lo, hi - lo, self.n_cols)
+        )
+        # Tier-2 exposure: every rank's resident block becomes a window.
+        self._window = Window(comm, self.tier1, category=TimeCategory.DISTRIBUTION)
+        # Every rank can compute any row's owner from the striping rule
+        # alone — no lookup table has to be communicated.
+        self._bounds = [block_bounds(self.n_rows, comm.size, r) for r in range(comm.size)]
+
+    def owner_of(self, row: int) -> int:
+        """Rank holding global ``row`` in its Tier-1 block."""
+        if not (0 <= row < self.n_rows):
+            raise ValueError(f"row {row} out of range [0, {self.n_rows})")
+        for r, (lo, hi) in enumerate(self._bounds):
+            if lo <= row < hi:
+                return r
+        raise AssertionError("unreachable: bounds cover [0, n_rows)")
+
+    def sample(
+        self,
+        global_rows: np.ndarray,
+        *,
+        subcomm: SimComm | None = None,
+    ) -> np.ndarray:
+        """Tier-2 shuffle: materialize this rank's slice of a subsample.
+
+        ``global_rows`` is the full bootstrap index vector (identical
+        on every rank, typically generated from a shared seed).  Rank
+        ``r`` returns rows ``global_rows[lo_r:hi_r]`` under block
+        striping of the subsample, fetched from their Tier-1 owners
+        with one batched Get per owner.
+
+        Parameters
+        ----------
+        global_rows:
+            Full subsample index vector.
+        subcomm:
+            Stripe the subsample over this communicator's ranks
+            instead of the full distributor communicator.  Used by the
+            P_B x P_lambda grids: a cell's ADMM cores jointly hold one
+            bootstrap while the Tier-1 owners (and the one-sided Gets
+            against them) remain global.  Purely one-sided, so
+            different cells may sample concurrently.
+        """
+        global_rows = np.asarray(global_rows, dtype=np.intp)
+        if global_rows.ndim != 1:
+            raise ValueError("global_rows must be 1-D")
+        if global_rows.size and (
+            global_rows.min() < 0 or global_rows.max() >= self.n_rows
+        ):
+            raise ValueError("global_rows contains out-of-range indices")
+        stripe = subcomm if subcomm is not None else self.comm
+        lo, hi = block_bounds(global_rows.size, stripe.size, stripe.rank)
+        mine = global_rows[lo:hi]
+        out = np.empty((mine.size, self.n_cols), dtype=self.tier1.dtype)
+
+        # Group my needed rows by owner so each owner is hit with one
+        # batched one-sided Get (the paper batches via derived windows).
+        owners = np.empty(mine.size, dtype=np.intp)
+        for i, row in enumerate(mine):
+            owners[i] = self.owner_of(int(row))
+        for owner in np.unique(owners):
+            sel = owners == owner
+            local_idx = mine[sel] - self._bounds[owner][0]
+            out[sel] = self._window.get(int(owner), local_idx)
+        return out
+
+    def barrier(self) -> None:
+        """Synchronize the distribution epoch (Tier-2 fence)."""
+        self._window.fence()
+
+    def close(self) -> None:
+        """Collective teardown of the Tier-2 window."""
+        self._window.free()

@@ -1,0 +1,32 @@
+"""Experiment drivers — one module per paper table/figure.
+
+Each module exposes ``run(fast: bool = True) -> ExperimentResult``:
+the structured data behind the paper artifact plus a rendered text
+report whose rows can be compared line-by-line against the paper.
+``fast=True`` (the default, used by the benchmark harness) keeps
+functional-simulation components small enough for a laptop; the
+analytic components always evaluate at the paper's full scale.
+
+=========  ==========================================================
+module     reproduces
+=========  ==========================================================
+table1     Table I — performance-analysis setup
+table2     Table II — conventional vs randomized distribution
+fig2       Fig. 2 — UoI_LASSO single-node breakdown + roofline
+fig3       Fig. 3 — UoI_LASSO P_B x P_lambda parallelism
+fig4       Fig. 4 — UoI_LASSO weak scaling
+fig5       Fig. 5 — Allreduce T_min / T_max variability
+fig6       Fig. 6 — UoI_LASSO strong scaling
+fig7       Fig. 7 — UoI_VAR single-node breakdown + sparse roofline
+fig8       Fig. 8 — UoI_VAR algorithmic parallelism
+fig9       Fig. 9 — UoI_VAR weak scaling
+fig10      Fig. 10 — UoI_VAR strong scaling
+fig11      Fig. 11 — S&P-50 Granger causal graph
+realdata   §VI — 470-company and 192-electrode runtime analyses
+statcompare extra — UoI vs LASSO/Ridge/MCP/SCAD statistical quality
+=========  ==========================================================
+"""
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,41 @@
+"""Shared result container for experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment driver.
+
+    Attributes
+    ----------
+    name:
+        Paper artifact id (e.g. ``"table2"``, ``"fig9"``).
+    title:
+        Human-readable headline.
+    report:
+        Rendered text tables, printable as-is next to the paper.
+    data:
+        Structured values for assertions (tests) and downstream use.
+    paper_reference:
+        The paper's corresponding numbers/claims, for side-by-side
+        reading in EXPERIMENTS.md.
+    """
+
+    name: str
+    title: str
+    report: str
+    data: dict[str, Any] = field(default_factory=dict)
+    paper_reference: str = ""
+
+    def render(self) -> str:
+        """Full printable block: title, report, paper reference."""
+        parts = [f"=== {self.name}: {self.title} ===", self.report]
+        if self.paper_reference:
+            parts.append(f"[paper] {self.paper_reference}")
+        return "\n".join(parts)

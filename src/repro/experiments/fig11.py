@@ -1,0 +1,122 @@
+"""Fig. 11 — Granger causal graph of 50 S&P companies.
+
+The paper fits a first-order VAR with UoI_VAR (B1 = 40, B2 = 5 —
+"selected to create a strong pressure toward sparse parameter
+estimates") to first differences of weekly closes of 50 randomly
+chosen S&P-500 companies over 2013–2014 (104 weeks), and draws the
+nonzero coefficients as a directed graph: "quite sparse, with fewer
+than 40 edges" out of 2,500 possible.
+
+The original closes are proprietary; we run the identical pipeline on
+the synthetic sector-factor panel of :mod:`repro.datasets.finance`
+(same shape: 50 companies x 2 trading years), which also plants a
+ground-truth lead-lag network so selection quality is measurable —
+something the paper's figure cannot check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import UoILassoConfig, UoIVar, UoIVarConfig
+from repro.datasets.finance import first_differences, make_stock_panel, weekly_closes
+from repro.experiments.base import ExperimentResult
+from repro.metrics.selection import selection_report
+from repro.var.granger import edge_list
+
+__all__ = ["run", "fit_sp50"]
+
+
+def fit_sp50(
+    *,
+    n_companies: int = 50,
+    n_days: int = 504,
+    b1: int = 40,
+    b2: int = 5,
+    q: int = 16,
+    seed: int = 11,
+    solver: str = "cd",
+    rule: str = "1se",
+):
+    """Run the paper's Fig.-11 pipeline; returns (model, panel, diffs)."""
+    panel = make_stock_panel(
+        n_companies, n_days, rng=np.random.default_rng(seed)
+    )
+    weekly = weekly_closes(panel.prices)
+    diffs = first_differences(weekly)
+    cfg = UoIVarConfig(
+        order=1,
+        lasso=UoILassoConfig(
+            n_lambdas=q,
+            # The paper chooses hyperparameters "to create a strong
+            # pressure toward sparse parameter estimates"; a 1e-2 floor
+            # keeps the path in the sparse regime.
+            lambda_min_ratio=1e-2,
+            n_selection_bootstraps=b1,
+            n_estimation_bootstraps=b2,
+            solver=solver,
+            # With only 5 estimation bootstraps, argmin winners are
+            # noisy; the 1-SE rule supplies the rest of the paper's
+            # "strong pressure toward sparse parameter estimates".
+            selection_rule=rule,
+            random_state=seed,
+        ),
+    )
+    model = UoIVar(cfg).fit(diffs)
+    return model, panel, diffs
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    """Regenerate Fig. 11 on the synthetic panel.
+
+    ``fast`` shrinks the panel and bootstrap counts (the full
+    50-company, B1 = 40 pipeline runs via ``fast=False``).
+    """
+    if fast:
+        # Shrunken panel; at these bootstrap counts the 1-SE rule is
+        # too blunt, so fast mode uses plain argmin winners.
+        b1, b2, q, n_co, rule = 8, 3, 10, 30, "min"
+    else:
+        b1, b2, q, n_co, rule = 40, 5, 16, 50, "1se"
+    model, panel, diffs = fit_sp50(n_companies=n_co, b1=b1, b2=b2, q=q, rule=rule)
+    summary = model.network_summary()
+    graph = model.granger_graph(labels=panel.tickers)
+    edges = edge_list(model.coefs_, labels=panel.tickers)
+
+    true_mask = panel.lead_lag != 0
+    np.fill_diagonal(true_mask, False)
+    est_mask = model.coefs_[0] != 0
+    est_off = est_mask & ~np.eye(est_mask.shape[0], dtype=bool)
+    rep = selection_report(true_mask, est_off)
+
+    lines = [
+        f"panel: {diffs.shape[0]} weekly first-differences x "
+        f"{diffs.shape[1]} companies; VAR(1), B1={b1}, B2={b2}",
+        f"edges: {summary['edges']} of {summary['possible_edges']} possible "
+        f"(paper: fewer than 40 of 2,500)",
+        f"density {summary['density']:.3f}, max in-degree "
+        f"{summary['max_in_degree']}, max out-degree {summary['max_out_degree']}",
+        f"vs planted network: precision {rep.precision:.2f}, recall "
+        f"{rep.recall:.2f} (tp={rep.tp}, fp={rep.fp}, fn={rep.fn})",
+        "",
+        "top edges (source -> target, |weight|):",
+    ]
+    for src, dst, w in edges[:15]:
+        lines.append(f"  {src:>6} -> {dst:<6} {w:.4f}")
+
+    return ExperimentResult(
+        name="fig11",
+        title="Granger causal graph of 50 companies (synthetic panel)",
+        report="\n".join(lines),
+        data={
+            "summary": summary,
+            "edges": edges,
+            "selection": rep,
+            "graph_nodes": graph.number_of_nodes(),
+        },
+        paper_reference=(
+            "Fig. 11: VAR(1) on weekly first differences of 50 companies, "
+            "B1=40, B2=5; sparse graph with < 40 edges out of 2,500; "
+            "node size ~ degree, edge width ~ estimate magnitude."
+        ),
+    )

@@ -1,0 +1,76 @@
+"""Fig. 7 — UoI_VAR single-node runtime breakdown + sparse roofline.
+
+≈16 GB lifted problem on one KNL node, B1 = B2 = 5, q = 8.  The
+paper's shape: computation contributes 88% of the runtime; the
+distributed Kronecker + vectorization calls constitute >98% of the
+distribution bar; sparse kernel rates are 1.08 GFLOPS (spMM, AI 0.15)
+and 2.08 GFLOPS (spMV, AI 0.33).  Section IV-B also gives the lifted
+design's sparsity law ``1 - 1/p`` ("a data set with 95 features ...
+sparsity of 98.94%"), which we verify by construction.
+"""
+
+from __future__ import annotations
+
+from repro.experiments._functional import mini_uoi_var_run
+from repro.experiments.base import ExperimentResult
+from repro.linalg.kron import kron_sparsity
+from repro.perf.plots import stacked_bars
+from repro.perf.report import format_breakdown_table
+from repro.perf.roofline import classify, paper_kernel_points
+from repro.perf.scaling import UoiVarScalingParams, uoi_var_model
+
+__all__ = ["run"]
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    """Regenerate Fig. 7 (modeled breakdown + sparsity + functional check)."""
+    params = UoiVarScalingParams(problem_gb=16, cores=68, b1=5, b2=5, q=8)
+    row = uoi_var_model(params)
+    comp_share = row.get("computation") / row.total
+    lines = [
+        format_breakdown_table([row], title="UoI_VAR single node, 16GB, B1=B2=5, q=8 (model)")
+    ]
+    lines.append(stacked_bars([row]))
+    lines.append(f"computation share: {comp_share:.1%} (paper: 88%)")
+
+    lines.append("")
+    lines.append(f"{'kernel':<22}{'GFLOPS':>9}{'AI':>7}{'bound':>15}")
+    roofline = {}
+    for pt in paper_kernel_points():
+        if not pt.kernel.startswith("uoi_var"):
+            continue
+        verdict = classify(pt)
+        roofline[pt.kernel] = verdict
+        lines.append(f"{pt.kernel:<22}{pt.gflops:>9.2f}{pt.intensity:>7.2f}{verdict:>15}")
+
+    sparsity_95 = kron_sparsity(95)
+    lines.append("")
+    lines.append(
+        f"lifted-design sparsity for p=95: {sparsity_95:.4%} (paper: 98.94%)"
+    )
+
+    func = mini_uoi_var_run(nranks=4 if fast else 6)
+    fb = func["breakdown"]
+    total = sum(fb.values())
+    lines.append(
+        "functional mini-run (4 ranks, real distributed Kronecker): "
+        + ", ".join(f"{k} {v / total:.1%}" for k, v in fb.items())
+    )
+
+    return ExperimentResult(
+        name="fig7",
+        title="UoI_VAR single-node runtime breakdown",
+        report="\n".join(lines),
+        data={
+            "model": row.seconds,
+            "computation_share": comp_share,
+            "sparsity_95": sparsity_95,
+            "roofline": roofline,
+            "functional": fb,
+        },
+        paper_reference=(
+            "Fig. 7: computation 88% of runtime; Kronecker+vectorization "
+            ">98% of distribution; sparsity(95 features) = 98.94%; sparse "
+            "gemm 1.08 GFLOPS @ AI 0.15, sparse gemv 2.08 @ 0.33."
+        ),
+    )

@@ -1,0 +1,69 @@
+"""Fig. 9 — UoI_VAR weak scaling (B1 = 30, B2 = 20, q = 20).
+
+The paper plots this on a log scale to expose the distribution
+(distributed Kronecker + vectorization) growth: computation shows
+"almost ideal weak scaling" (flat), communication rises with core
+count, and distribution rises steeply — proportional to cores *and*
+problem size (the ≈ p^3 explosion feeding a few reader cores) — so
+that for problem sizes of 2 TB and above distribution dominates the
+total runtime (the computation/distribution trade-off of the
+Discussion).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.perf.plots import log_lines
+from repro.perf.report import format_breakdown_table
+from repro.perf.scaling import (
+    UoiVarScalingParams,
+    WEAK_SCALING_GB,
+    uoi_var_model,
+    var_weak_scaling_cores,
+)
+
+__all__ = ["run"]
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    """Regenerate Fig. 9 from the analytic model."""
+    rows = []
+    series = {}
+    for gb in WEAK_SCALING_GB:
+        cores = var_weak_scaling_cores(gb)
+        row = uoi_var_model(UoiVarScalingParams(gb, cores, b1=30, b2=20, q=20))
+        rows.append(row)
+        series[gb] = dict(row.seconds)
+    lines = [format_breakdown_table(rows, title="UoI_VAR weak scaling (model)")]
+    lines.append("")
+    lines.append(log_lines(rows, title="log-scale view (the paper's Fig. 9 presentation)"))
+
+    comp = [series[gb]["computation"] for gb in WEAK_SCALING_GB]
+    lines.append(
+        f"computation flatness: max/min = {max(comp) / min(comp):.3f} "
+        "(paper: almost ideal weak scaling)"
+    )
+    crossover = next(
+        (
+            gb
+            for gb in WEAK_SCALING_GB
+            if series[gb]["distribution"] > series[gb]["computation"]
+        ),
+        None,
+    )
+    lines.append(
+        f"distribution overtakes computation at: {crossover} GB "
+        "(paper: 2TB and above)"
+    )
+
+    return ExperimentResult(
+        name="fig9",
+        title="UoI_VAR weak scaling",
+        report="\n".join(lines),
+        data={"series": series, "crossover_gb": crossover},
+        paper_reference=(
+            "Fig. 9 (log scale): computation flat; communication grows "
+            "with cores; distribution grows with cores and problem size, "
+            "dominating for >= 2TB."
+        ),
+    )

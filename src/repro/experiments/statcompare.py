@@ -1,0 +1,140 @@
+"""Statistical-quality comparison: UoI vs LASSO / Ridge / MCP / SCAD.
+
+Not a numbered figure, but the paper's central premise (Section I):
+UoI methods deliver "low false-positive and low false-negative feature
+selection along with low bias and low variance estimation", superior
+to LASSO and comparable or better than the non-convex penalties (SCAD,
+MCP) — *while remaining distributable*.  This driver measures all of
+that on planted-truth synthetic data: selection precision/recall and
+coefficient bias for each method at its best-on-held-out penalty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import UoILasso, UoILassoConfig
+from repro.datasets.regression import make_sparse_regression
+from repro.experiments.base import ExperimentResult
+from repro.linalg import cv_lasso, lambda_grid, lasso_cd, mcp_regression, ridge, scad_regression
+from repro.metrics.estimation import estimation_report
+from repro.metrics.selection import selection_report
+
+__all__ = ["run", "compare_methods"]
+
+
+def _best_on_holdout(fit_fn, X_tr, y_tr, X_ho, y_ho, lams) -> np.ndarray:
+    """Fit a path, return the estimate with the lowest held-out MSE."""
+    best, best_loss = None, np.inf
+    for lam in lams:
+        beta = fit_fn(X_tr, y_tr, float(lam))
+        loss = float(np.mean((y_ho - X_ho @ beta) ** 2))
+        if loss < best_loss:
+            best, best_loss = beta, loss
+    return best
+
+
+def compare_methods(
+    *,
+    n: int = 160,
+    p: int = 40,
+    k: int = 6,
+    snr: float = 8.0,
+    n_lambdas: int = 12,
+    b1: int = 12,
+    b2: int = 8,
+    seed: int = 0,
+) -> dict[str, dict]:
+    """Run every method on one planted problem; return per-method metrics."""
+    rng = np.random.default_rng(seed)
+    ds = make_sparse_regression(n, p, n_informative=k, snr=snr, rng=rng)
+    n_tr = int(0.75 * n)
+    X_tr, y_tr = ds.X[:n_tr], ds.y[:n_tr]
+    X_ho, y_ho = ds.X[n_tr:], ds.y[n_tr:]
+    lams = lambda_grid(X_tr, y_tr, num=n_lambdas)
+
+    estimates: dict[str, np.ndarray] = {}
+    uoi = UoILasso(
+        UoILassoConfig(
+            n_lambdas=n_lambdas,
+            n_selection_bootstraps=b1,
+            n_estimation_bootstraps=b2,
+            solver="cd",
+            selection_rule="1se",
+            random_state=seed,
+        )
+    ).fit(ds.X, ds.y)
+    estimates["UoI_LASSO"] = uoi.coef_
+    estimates["LASSO"] = _best_on_holdout(
+        lambda X, y, lam: lasso_cd(X, y, lam), X_tr, y_tr, X_ho, y_ho, lams
+    )
+    estimates["MCP"] = _best_on_holdout(
+        lambda X, y, lam: mcp_regression(X, y, lam), X_tr, y_tr, X_ho, y_ho, lams
+    )
+    estimates["SCAD"] = _best_on_holdout(
+        lambda X, y, lam: scad_regression(X, y, lam), X_tr, y_tr, X_ho, y_ho, lams
+    )
+    estimates["Ridge"] = _best_on_holdout(
+        lambda X, y, lam: ridge(X, y, max(lam, 1e-6)), X_tr, y_tr, X_ho, y_ho, lams
+    )
+    estimates["CV-LASSO"] = cv_lasso(
+        ds.X, ds.y, n_lambdas=n_lambdas, k=5, rule="1se",
+        rng=np.random.default_rng(seed + 7),
+    ).beta
+
+    out = {}
+    for name, beta in estimates.items():
+        sel = selection_report(ds.support, beta)
+        est = estimation_report(ds.beta, beta)
+        out[name] = {"selection": sel, "estimation": est, "beta": beta}
+    out["_truth"] = {"beta": ds.beta, "support": ds.support}
+    return out
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    """Run the method comparison (averaged over trials unless ``fast``)."""
+    trials = 1 if fast else 5
+    agg: dict[str, list] = {}
+    for t in range(trials):
+        res = compare_methods(seed=100 + t)
+        for name, vals in res.items():
+            if name.startswith("_"):
+                continue
+            agg.setdefault(name, []).append(vals)
+
+    lines = [
+        f"{'method':<12}{'precision':>10}{'recall':>8}{'FP':>5}{'FN':>5}"
+        f"{'coef MSE':>10}{'bias':>8}"
+    ]
+    summary = {}
+    for name, runs in agg.items():
+        prec = float(np.mean([r["selection"].precision for r in runs]))
+        rec = float(np.mean([r["selection"].recall for r in runs]))
+        fp = float(np.mean([r["selection"].fp for r in runs]))
+        fn = float(np.mean([r["selection"].fn for r in runs]))
+        mse = float(np.mean([r["estimation"].mse for r in runs]))
+        bias = float(np.mean([r["estimation"].bias for r in runs]))
+        summary[name] = {
+            "precision": prec, "recall": rec, "fp": fp, "fn": fn,
+            "mse": mse, "bias": bias,
+        }
+        lines.append(
+            f"{name:<12}{prec:>10.2f}{rec:>8.2f}{fp:>5.1f}{fn:>5.1f}"
+            f"{mse:>10.2e}{bias:>8.3f}"
+        )
+    lines.append(
+        "\nexpected shape: UoI_LASSO precision >= LASSO precision (fewer "
+        "false positives) at comparable recall; UoI bias < LASSO bias "
+        "(OLS re-estimation removes shrinkage)."
+    )
+
+    return ExperimentResult(
+        name="statcompare",
+        title="Selection/estimation quality: UoI vs LASSO/MCP/SCAD/Ridge",
+        report="\n".join(lines),
+        data={"summary": summary},
+        paper_reference=(
+            "Section I: UoI gives low-FP/low-FN selection and low-bias/"
+            "low-variance estimation vs LASSO, SCAD, MCP, Ridge ([10],[11])."
+        ),
+    )

@@ -1,0 +1,71 @@
+"""Table I — performance-analysis setup.
+
+The paper's Table I pairs every data/problem size with the core counts
+used for single-node, weak-scaling and strong-scaling runs of both
+algorithms.  We regenerate the pairings from the Table-I scaling rules
+(cores double with size; UoI_LASSO uses twice UoI_VAR's count) and
+attach the derived workload shapes (rows per core, VAR feature counts)
+our models use.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.regression import rows_for_gigabytes
+from repro.datasets.var_synthetic import features_for_gigabytes
+from repro.experiments.base import ExperimentResult
+from repro.perf.scaling import (
+    WEAK_SCALING_GB,
+    lasso_weak_scaling_cores,
+    var_weak_scaling_cores,
+)
+
+__all__ = ["run", "LASSO_STRONG_CORES", "VAR_STRONG_CORES"]
+
+#: Strong-scaling core sweeps (Table I, 1 TB problem).
+LASSO_STRONG_CORES = [17408, 34816, 69632, 139264]
+VAR_STRONG_CORES = [4352, 8704, 17408, 34816]
+
+#: Paper's Table I weak-scaling rows for checking our generators.
+PAPER_TABLE1_LASSO = {128: 4352, 256: 8704, 512: 17408, 1024: 34816,
+                      2048: 69632, 4096: 139264, 8192: 278528}
+PAPER_TABLE1_VAR = {128: 2176, 256: 4352, 512: 8704, 1024: 17408,
+                    2048: 34816, 4096: 69632, 8192: 139264}
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    """Regenerate Table I.  ``fast`` has no effect (pure arithmetic)."""
+    lines = [
+        f"{'analysis':<13}{'size (GB)':>10}{'UoI_LASSO cores':>17}"
+        f"{'UoI_VAR cores':>15}{'rows/core (LASSO)':>19}{'VAR features':>14}"
+    ]
+    lines.append("-" * len(lines[0]))
+    lines.append(f"{'single node':<13}{16:>10}{68:>17}{68:>15}"
+                 f"{rows_for_gigabytes(16) // 68:>19}{features_for_gigabytes(16):>14}")
+    rows = {}
+    for gb in WEAK_SCALING_GB:
+        lc = lasso_weak_scaling_cores(gb)
+        vc = var_weak_scaling_cores(gb)
+        rows[gb] = (lc, vc)
+        lines.append(
+            f"{'weak':<13}{gb:>10}{lc:>17}{vc:>15}"
+            f"{rows_for_gigabytes(gb) // lc:>19}{features_for_gigabytes(gb):>14}"
+        )
+    for lc, vc in zip(LASSO_STRONG_CORES, VAR_STRONG_CORES):
+        lines.append(f"{'strong (1TB)':<13}{1024:>10}{lc:>17}{vc:>15}"
+                     f"{rows_for_gigabytes(1024) // lc:>19}{features_for_gigabytes(1024):>14}")
+    return ExperimentResult(
+        name="table1",
+        title="Performance-analysis setup (data sizes vs core counts)",
+        report="\n".join(lines),
+        data={
+            "weak": rows,
+            "paper_lasso": PAPER_TABLE1_LASSO,
+            "paper_var": PAPER_TABLE1_VAR,
+            "lasso_strong": LASSO_STRONG_CORES,
+            "var_strong": VAR_STRONG_CORES,
+        },
+        paper_reference=(
+            "Table I: weak scaling 128GB->4,352 ... 8TB->278,528 cores "
+            "(UoI_LASSO), half that for UoI_VAR; strong scaling at 1TB."
+        ),
+    )

@@ -1,0 +1,168 @@
+"""Cyclic coordinate-descent LASSO.
+
+An independent reference solver for the same objective as
+:mod:`repro.linalg.admm` (paper eq. 2):
+
+    ||y - X b||^2 + lam * ||b||_1
+
+Used (a) in tests to cross-check the ADMM solver against a structurally
+different algorithm, and (b) as the "plain LASSO" statistical baseline
+in the accuracy benchmarks (the paper's motivating comparison: LASSO
+alone has many false positives, UoI removes them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.soft_threshold import soft_threshold
+
+__all__ = ["lasso_cd", "precompute_gram"]
+
+
+def precompute_gram(
+    X: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gram cache for covariance-update coordinate descent.
+
+    Returns ``(gram, zeros, col_sq)`` where ``gram = X'X`` and
+    ``col_sq`` is its diagonal; replace the middle element with
+    ``X.T @ y`` for each response and pass the triple as
+    ``precomputed`` to :func:`lasso_cd`.
+    """
+    X = np.ascontiguousarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    gram = X.T @ X
+    return gram, np.zeros(X.shape[1]), np.diag(gram).copy()
+
+
+def lasso_cd(
+    X: np.ndarray,
+    y: np.ndarray,
+    lam: float,
+    *,
+    beta0: np.ndarray | None = None,
+    max_iter: int = 2000,
+    tol: float = 1e-9,
+    precomputed: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Solve ``argmin_b ||y - Xb||^2 + lam ||b||_1`` by coordinate descent.
+
+    Parameters
+    ----------
+    X:
+        ``(n, p)`` design matrix.
+    y:
+        ``(n,)`` response.
+    lam:
+        Penalty level, >= 0.
+    beta0:
+        Optional warm start.
+    max_iter:
+        Maximum number of full sweeps.
+    tol:
+        Stop when the max absolute coordinate change in a sweep is
+        below ``tol``.
+    precomputed:
+        Optional ``(gram, Xty, col_sq)`` triple from
+        :func:`precompute_gram`, switching the solver to glmnet-style
+        *covariance updates*: each coordinate update costs ``O(p)``
+        against the cached ``X'X`` instead of ``O(n)`` against the
+        residual — a large win when many responses or many penalties
+        share one design with ``p << n``.
+
+    Notes
+    -----
+    For coordinate ``j`` with residual ``r`` (excluding ``j``'s own
+    contribution), the single-coordinate problem
+
+        min_b  ||r - x_j b||^2 + lam |b|
+
+    has the closed form ``b = S_{lam/2}(x_j' r) / (x_j' x_j)``.
+    Columns with zero norm keep a zero coefficient.
+
+    An *active-set* strategy (standard in glmnet-style solvers) keeps
+    the cost proportional to the solution's sparsity: after each full
+    sweep, inner sweeps cycle only over the currently-nonzero
+    coordinates until they stabilize, then one more full sweep checks
+    whether any inactive coordinate violates its KKT condition; the
+    solve ends only when a full sweep changes nothing beyond ``tol``.
+    """
+    X = np.ascontiguousarray(X, dtype=float)
+    y = np.ascontiguousarray(y, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    n, p = X.shape
+    if y.shape != (n,):
+        raise ValueError(f"y shape {y.shape} incompatible with X {X.shape}")
+    if lam < 0:
+        raise ValueError(f"lam must be >= 0, got {lam}")
+
+    beta = np.zeros(p) if beta0 is None else np.asarray(beta0, dtype=float).copy()
+    if beta.shape != (p,):
+        raise ValueError(f"beta0 shape {beta.shape} != ({p},)")
+
+    half_lam = 0.5 * lam
+
+    if precomputed is not None:
+        gram, Xty, col_sq = precomputed
+        if gram.shape != (p, p) or Xty.shape != (p,) or col_sq.shape != (p,):
+            raise ValueError("precomputed triple has inconsistent shapes")
+        # Covariance updates: rho_j = x_j'y - x_j'X beta + G_jj beta_j.
+        gram_beta = gram @ beta
+
+        def sweep(indices) -> float:
+            max_delta = 0.0
+            for j in indices:
+                cj = col_sq[j]
+                if cj == 0.0:
+                    continue
+                old = beta[j]
+                rho_j = Xty[j] - gram_beta[j] + cj * old
+                z = abs(rho_j) - half_lam
+                new = 0.0 if z <= 0.0 else (z if rho_j > 0 else -z) / cj
+                if new != old:
+                    gram_beta[:] += gram[j] * (new - old)
+                    beta[j] = new
+                    delta = abs(new - old)
+                    if delta > max_delta:
+                        max_delta = delta
+            return max_delta
+
+    else:
+        col_sq = np.einsum("ij,ij->j", X, X)
+        resid = y - X @ beta
+
+        def sweep(indices) -> float:
+            max_delta = 0.0
+            for j in indices:
+                if col_sq[j] == 0.0:
+                    continue
+                old = beta[j]
+                rho_j = X[:, j] @ resid + col_sq[j] * old
+                new = float(soft_threshold(rho_j, half_lam)) / col_sq[j]
+                if new != old:
+                    resid[:] += X[:, j] * (old - new)
+                    beta[j] = new
+                    max_delta = max(max_delta, abs(new - old))
+            return max_delta
+
+    all_indices = range(p)
+    sweeps_left = max_iter
+    while sweeps_left > 0:
+        # Full sweep: updates everything and discovers new actives.
+        delta = sweep(all_indices)
+        sweeps_left -= 1
+        if delta < tol:
+            break
+        # Inner sweeps over the active set only.
+        while sweeps_left > 0:
+            active = np.flatnonzero(beta)
+            if active.size == 0:
+                break
+            delta = sweep(active)
+            sweeps_left -= 1
+            if delta < tol:
+                break
+    return beta

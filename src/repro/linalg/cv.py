@@ -1,0 +1,149 @@
+"""K-fold cross-validated LASSO (the classical λ-selection baseline).
+
+The paper's Fig. 1(c) shows the Tier-2 randomized distribution being
+reused for "data randomization for cross validation" — CV is the
+standard alternative to UoI's bootstrap machinery for picking λ, and
+the baseline UoI is usually compared against.  This module implements
+plain K-fold CV over a λ path with optional one-standard-error
+selection, used by the statistical benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.linalg.cd import lasso_cd
+from repro.linalg.lambda_grid import lambda_grid
+
+__all__ = ["CVResult", "kfold_indices", "cv_lasso"]
+
+
+@dataclass
+class CVResult:
+    """Outcome of a cross-validated LASSO fit.
+
+    Attributes
+    ----------
+    beta:
+        Final coefficients, refit on all rows at the chosen λ.
+    lam:
+        The chosen penalty.
+    lam_index:
+        Its index in the grid.
+    lambdas:
+        The grid swept.
+    cv_loss:
+        ``(q,)`` mean held-out MSE per grid point.
+    cv_se:
+        ``(q,)`` standard error of the fold losses per grid point.
+    """
+
+    beta: np.ndarray
+    lam: float
+    lam_index: int
+    lambdas: np.ndarray
+    cv_loss: np.ndarray
+    cv_se: np.ndarray
+
+
+def kfold_indices(
+    n: int, k: int, rng: np.random.Generator
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Random K-fold partition: list of ``(train_idx, test_idx)`` pairs.
+
+    Folds are disjoint, cover ``[0, n)`` exactly, and differ in size by
+    at most one row.
+    """
+    if n < 2:
+        raise ValueError("need n >= 2")
+    if not (2 <= k <= n):
+        raise ValueError(f"k must be in [2, {n}], got {k}")
+    perm = rng.permutation(n)
+    folds = np.array_split(perm, k)
+    out = []
+    for i in range(k):
+        test = np.sort(folds[i])
+        train = np.sort(np.concatenate([folds[j] for j in range(k) if j != i]))
+        out.append((train, test))
+    return out
+
+
+def cv_lasso(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    n_lambdas: int = 24,
+    lambda_min_ratio: float = 1e-3,
+    k: int = 5,
+    rule: str = "min",
+    rng: np.random.Generator | None = None,
+    max_iter: int = 2000,
+    tol: float = 1e-8,
+) -> CVResult:
+    """K-fold cross-validated LASSO over a geometric λ path.
+
+    Parameters
+    ----------
+    X, y:
+        Design ``(n, p)`` and response ``(n,)``.
+    n_lambdas, lambda_min_ratio:
+        λ-grid construction (see :func:`repro.linalg.lambda_grid`).
+    k:
+        Number of folds.
+    rule:
+        ``"min"`` — λ with the lowest mean CV loss; ``"1se"`` — the
+        largest λ (sparsest model) within one standard error of it.
+    rng:
+        Fold-assignment randomness (fresh generator when ``None``).
+
+    Returns
+    -------
+    CVResult
+        Chosen λ, CV curve, and the full-data refit at the chosen λ.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    n = X.shape[0]
+    if y.shape != (n,):
+        raise ValueError(f"y shape {y.shape} incompatible with X {X.shape}")
+    if rule not in ("min", "1se"):
+        raise ValueError(f"rule must be 'min' or '1se', got {rule!r}")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    lambdas = lambda_grid(X, y, num=n_lambdas, eps=lambda_min_ratio)
+    folds = kfold_indices(n, k, rng)
+    losses = np.empty((k, n_lambdas))
+    for f, (train, test) in enumerate(folds):
+        beta = None
+        for j, lam in enumerate(lambdas):
+            beta = lasso_cd(
+                X[train], y[train], float(lam), beta0=beta,
+                max_iter=max_iter, tol=tol,
+            )
+            resid = y[test] - X[test] @ beta
+            losses[f, j] = float(resid @ resid / max(len(test), 1))
+
+    cv_loss = losses.mean(axis=0)
+    cv_se = losses.std(axis=0, ddof=1) / np.sqrt(k)
+    jmin = int(np.argmin(cv_loss))
+    if rule == "1se":
+        threshold = cv_loss[jmin] + cv_se[jmin]
+        # λ grid is descending: the smallest index within threshold is
+        # the largest penalty, i.e. the sparsest model.
+        j_star = int(np.argmax(cv_loss <= threshold))
+    else:
+        j_star = jmin
+    lam_star = float(lambdas[j_star])
+    beta = lasso_cd(X, y, lam_star, max_iter=max_iter, tol=tol)
+    return CVResult(
+        beta=beta,
+        lam=lam_star,
+        lam_index=j_star,
+        lambdas=lambdas,
+        cv_loss=cv_loss,
+        cv_se=cv_se,
+    )

@@ -1,0 +1,113 @@
+"""Non-convex penalized regression baselines: MCP and SCAD.
+
+The paper motivates UoI partly by contrast with non-convex penalties
+(MCP, SCAD): they reduce LASSO's bias but "are extremely challenging
+for implementation in the multi-nodal distributed computing paradigm"
+(citing HONOR).  We implement them serially as statistical baselines
+via coordinate descent with the closed-form univariate thresholds from
+:mod:`repro.linalg.soft_threshold`, which is the standard algorithm
+(Breheny & Huang 2011).
+
+Objectives (matching the paper's un-halved quadratic, eq. 2):
+
+    ||y - X b||^2 + 2 * sum_j P(b_j; lam, gamma)
+
+where ``P`` is the MCP or SCAD penalty.  The factor 2 keeps the
+per-coordinate subproblem in the canonical ``0.5 (b - x)^2 + P`` form
+after dividing by the column norm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.soft_threshold import mcp_threshold, scad_threshold
+
+__all__ = ["mcp_regression", "scad_regression"]
+
+
+def _ncvx_cd(
+    X: np.ndarray,
+    y: np.ndarray,
+    lam: float,
+    threshold,
+    shape_param: float,
+    max_iter: int,
+    tol: float,
+) -> np.ndarray:
+    X = np.ascontiguousarray(X, dtype=float)
+    y = np.ascontiguousarray(y, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    n, p = X.shape
+    if y.shape != (n,):
+        raise ValueError(f"y shape {y.shape} incompatible with X {X.shape}")
+    if lam < 0:
+        raise ValueError(f"lam must be >= 0, got {lam}")
+
+    col_sq = np.einsum("ij,ij->j", X, X)
+    beta = np.zeros(p)
+    resid = y.copy()
+    for _ in range(max_iter):
+        max_delta = 0.0
+        for j in range(p):
+            if col_sq[j] == 0.0:
+                continue
+            old = beta[j]
+            # Unpenalized univariate minimizer, then apply the
+            # non-convex threshold scaled to the column norm.
+            zj = (X[:, j] @ resid + col_sq[j] * old) / col_sq[j]
+            new = float(threshold(zj, lam / col_sq[j], shape_param))
+            if new != old:
+                resid += X[:, j] * (old - new)
+                beta[j] = new
+                max_delta = max(max_delta, abs(new - old))
+        if max_delta < tol:
+            break
+    return beta
+
+
+def mcp_regression(
+    X: np.ndarray,
+    y: np.ndarray,
+    lam: float,
+    *,
+    gamma: float = 3.0,
+    max_iter: int = 2000,
+    tol: float = 1e-9,
+) -> np.ndarray:
+    """MCP-penalized regression by coordinate descent.
+
+    Parameters
+    ----------
+    X, y:
+        Design matrix ``(n, p)`` and response ``(n,)``.
+    lam:
+        Penalty level.
+    gamma:
+        MCP concavity parameter (> 1); larger is closer to LASSO.
+    """
+    return _ncvx_cd(X, y, lam, mcp_threshold, gamma, max_iter, tol)
+
+
+def scad_regression(
+    X: np.ndarray,
+    y: np.ndarray,
+    lam: float,
+    *,
+    a: float = 3.7,
+    max_iter: int = 2000,
+    tol: float = 1e-9,
+) -> np.ndarray:
+    """SCAD-penalized regression by coordinate descent.
+
+    Parameters
+    ----------
+    X, y:
+        Design matrix ``(n, p)`` and response ``(n,)``.
+    lam:
+        Penalty level.
+    a:
+        SCAD shape parameter (> 2); Fan & Li recommend 3.7.
+    """
+    return _ncvx_cd(X, y, lam, scad_threshold, a, max_iter, tol)

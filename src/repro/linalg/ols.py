@@ -1,0 +1,74 @@
+"""Ordinary least squares, optionally restricted to a support.
+
+UoI model estimation (Algorithm 1 line 18, Algorithm 2 line 24) fits
+the *unbiased* OLS estimator on each candidate support produced by the
+selection stage.  The paper implements OLS as LASSO-ADMM with λ = 0 so
+the same distributed solver serves both stages; serially we use a
+direct least-squares solve, and the two are cross-checked in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ols", "ols_on_support"]
+
+
+def ols(X: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Minimum-norm least-squares solution of ``min_b ||y - Xb||^2``.
+
+    Uses an SVD-based solve (``numpy.linalg.lstsq``) so rank-deficient
+    designs — common when a bootstrap drops rows — are handled without
+    blowing up.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if y.shape != (X.shape[0],):
+        raise ValueError(f"y shape {y.shape} incompatible with X {X.shape}")
+    beta, *_ = np.linalg.lstsq(X, y, rcond=None)
+    return beta
+
+
+def ols_on_support(
+    X: np.ndarray,
+    y: np.ndarray,
+    support: np.ndarray,
+) -> np.ndarray:
+    """OLS with coefficients outside ``support`` pinned to zero.
+
+    Parameters
+    ----------
+    X:
+        ``(n, p)`` design matrix.
+    y:
+        ``(n,)`` response.
+    support:
+        Either a boolean mask of length ``p`` or an integer index array
+        selecting the free coefficients.
+
+    Returns
+    -------
+    numpy.ndarray
+        Full-length ``(p,)`` coefficient vector, dense in the support
+        and exactly zero elsewhere.  An empty support yields the zero
+        vector (the intercept-free null model).
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    p = X.shape[1]
+    support = np.asarray(support)
+    if support.dtype == bool:
+        if support.shape != (p,):
+            raise ValueError(f"boolean support shape {support.shape} != ({p},)")
+        idx = np.flatnonzero(support)
+    else:
+        idx = support.astype(np.intp)
+        if idx.size and (idx.min() < 0 or idx.max() >= p):
+            raise ValueError(f"support indices out of range for p={p}")
+    beta = np.zeros(p)
+    if idx.size:
+        beta[idx] = ols(X[:, idx], np.asarray(y, dtype=float))
+    return beta

@@ -1,0 +1,42 @@
+"""Ridge regression baseline.
+
+The UoI papers benchmark feature estimation against Ridge (low
+variance, but biased and never sparse).  Included here for the
+statistical-comparison benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+__all__ = ["ridge"]
+
+
+def ridge(X: np.ndarray, y: np.ndarray, lam: float) -> np.ndarray:
+    """Solve ``argmin_b ||y - Xb||^2 + lam ||b||^2``.
+
+    Normal equations ``(X'X + (lam/2)*2 ... )``: differentiating gives
+    ``(2 X'X + 2 lam I) b = 2 X' y``, i.e. ``(X'X + lam I) b = X' y``.
+
+    Parameters
+    ----------
+    X:
+        ``(n, p)`` design matrix.
+    y:
+        ``(n,)`` response.
+    lam:
+        Penalty, must be > 0 (use :func:`repro.linalg.ols` for 0).
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if y.shape != (X.shape[0],):
+        raise ValueError(f"y shape {y.shape} incompatible with X {X.shape}")
+    if lam <= 0:
+        raise ValueError(f"lam must be > 0, got {lam}")
+    p = X.shape[1]
+    gram = X.T @ X
+    gram[np.diag_indices_from(gram)] += lam
+    return scipy.linalg.solve(gram, X.T @ y, assume_a="pos")

@@ -1,0 +1,42 @@
+"""Statistical evaluation metrics.
+
+The UoI framework's selling points are *selection* quality (low false
+positives and false negatives — eq. 3's intersection) and *estimation*
+quality (low bias, low variance — eq. 4's union average).  These
+modules quantify both so the statistical-comparison benchmarks can
+reproduce the paper's claims against LASSO / Ridge / MCP / SCAD.
+"""
+
+from repro.metrics.selection import (
+    SelectionReport,
+    selection_report,
+    false_positive_rate,
+    false_negative_rate,
+)
+from repro.metrics.graph import (
+    adjacency_hamming,
+    degree_profile_distance,
+    edge_jaccard,
+)
+from repro.metrics.estimation import (
+    mean_squared_error,
+    coefficient_bias,
+    r_squared,
+    estimation_report,
+    EstimationReport,
+)
+
+__all__ = [
+    "SelectionReport",
+    "selection_report",
+    "false_positive_rate",
+    "false_negative_rate",
+    "edge_jaccard",
+    "adjacency_hamming",
+    "degree_profile_distance",
+    "mean_squared_error",
+    "coefficient_bias",
+    "r_squared",
+    "estimation_report",
+    "EstimationReport",
+]

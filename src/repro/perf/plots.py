@@ -1,0 +1,114 @@
+"""Text-mode stacked bar charts of runtime breakdowns.
+
+The paper's Figures 2, 3, 7 and 8 are stacked bars of the four runtime
+categories.  These helpers render :class:`BreakdownRow` collections as
+proportional ASCII bars so terminal output can be eyeballed against
+the publication — linear scale for single-node style figures, log
+scale for the weak/strong-scaling figures the paper plots
+logarithmically (Fig. 9).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.perf.report import BreakdownRow, CATEGORY_ORDER
+
+__all__ = ["stacked_bars", "log_lines", "CATEGORY_GLYPHS"]
+
+#: One glyph per category, matching the tracer's timeline letters.
+CATEGORY_GLYPHS = {
+    "computation": "C",
+    "communication": "M",
+    "distribution": "D",
+    "data_io": "I",
+}
+
+
+def stacked_bars(
+    rows: list[BreakdownRow],
+    *,
+    width: int = 60,
+    title: str | None = None,
+) -> str:
+    """Render rows as horizontal stacked bars (linear scale).
+
+    Bars are scaled to the largest row total; each category occupies a
+    share of the bar proportional to its share of that row's runtime.
+    """
+    if not rows:
+        raise ValueError("stacked_bars needs at least one row")
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    biggest = max(row.total for row in rows)
+    if biggest <= 0:
+        raise ValueError("all rows have zero total time")
+    label_w = max(len(r.label) for r in rows)
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{glyph}={name}" for name, glyph in CATEGORY_GLYPHS.items()
+    )
+    lines.append(legend)
+    for row in rows:
+        bar_len = max(1, round(width * row.total / biggest))
+        bar = ""
+        for cat in CATEGORY_ORDER:
+            share = row.get(cat) / row.total if row.total else 0.0
+            bar += CATEGORY_GLYPHS[cat] * round(share * bar_len)
+        bar = (bar + CATEGORY_GLYPHS["computation"])[:bar_len] if bar else ""
+        lines.append(f"{row.label:>{label_w}} |{bar:<{width}}| {row.total:.4g}s")
+    return "\n".join(lines)
+
+
+def log_lines(
+    rows: list[BreakdownRow],
+    *,
+    width: int = 60,
+    title: str | None = None,
+) -> str:
+    """Render each category as a log-scale position chart (Fig.-9 style).
+
+    One line per (row, category): the marker position encodes
+    ``log10(seconds)`` between the smallest and largest nonzero values
+    in the table, which is how the paper plots UoI_VAR's weak scaling
+    to make the distribution growth visible.
+    """
+    if not rows:
+        raise ValueError("log_lines needs at least one row")
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    vals = [
+        row.get(cat)
+        for row in rows
+        for cat in CATEGORY_ORDER
+        if row.get(cat) > 0
+    ]
+    if not vals:
+        raise ValueError("all categories are zero")
+    lo, hi = math.log10(min(vals)), math.log10(max(vals))
+    span = hi - lo if hi > lo else 1.0
+    label_w = max(len(r.label) for r in rows)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"log10 scale: {min(vals):.3g}s ... {max(vals):.3g}s  "
+        + "  ".join(f"{g}={n}" for n, g in CATEGORY_GLYPHS.items())
+    )
+    for row in rows:
+        cells = [" "] * width
+        for cat in CATEGORY_ORDER:
+            v = row.get(cat)
+            if v <= 0:
+                continue
+            pos = int((math.log10(v) - lo) / span * (width - 1))
+            glyph = CATEGORY_GLYPHS[cat]
+            # Later categories overwrite earlier ones only on exact
+            # collisions; nudge right to keep both visible when free.
+            if cells[pos] != " " and pos + 1 < width and cells[pos + 1] == " ":
+                pos += 1
+            cells[pos] = glyph
+        lines.append(f"{row.label:>{label_w}} |{''.join(cells)}|")
+    return "\n".join(lines)

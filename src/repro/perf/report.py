@@ -1,0 +1,104 @@
+"""Runtime-breakdown reporting in the paper's format.
+
+The paper's single-node and parallelism figures (2, 3, 7, 8) are
+stacked bars of *Computation / Communication / Distribution / Data
+I/O*.  Experiment drivers collect those categories from rank clocks
+(or from the analytic model) into :class:`BreakdownRow` records, and
+:func:`format_breakdown_table` renders them as an aligned text table —
+the benchmark harness prints these so a reader can compare rows
+directly against the paper's bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simmpi.clock import TimeCategory
+
+__all__ = ["BreakdownRow", "format_breakdown_table", "CATEGORY_ORDER"]
+
+#: Column order used everywhere, matching the paper's legend.
+CATEGORY_ORDER = [
+    TimeCategory.COMPUTE.value,
+    TimeCategory.COMMUNICATION.value,
+    TimeCategory.DISTRIBUTION.value,
+    TimeCategory.DATA_IO.value,
+]
+
+
+@dataclass
+class BreakdownRow:
+    """One configuration's runtime breakdown.
+
+    Attributes
+    ----------
+    label:
+        Row label (e.g. ``"16GB / 2176 cores / 16x2"``).
+    seconds:
+        Mapping from category name (see :data:`CATEGORY_ORDER`) to
+        modeled seconds; missing categories count as 0.
+    extra:
+        Optional free-form annotations appended as trailing columns.
+    """
+
+    label: str
+    seconds: dict[str, float]
+    extra: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        """Sum over all categories."""
+        return sum(self.seconds.values())
+
+    def get(self, category: str) -> float:
+        return self.seconds.get(category, 0.0)
+
+
+def format_breakdown_table(
+    rows: list[BreakdownRow],
+    *,
+    title: str | None = None,
+    unit: str = "s",
+) -> str:
+    """Render rows as an aligned text table with a total column.
+
+    Parameters
+    ----------
+    rows:
+        Breakdown rows, printed in order.
+    title:
+        Optional heading line.
+    unit:
+        Unit label appended to the header names.
+    """
+    if not rows:
+        raise ValueError("format_breakdown_table needs at least one row")
+    extra_keys: list[str] = []
+    for row in rows:
+        for k in row.extra:
+            if k not in extra_keys:
+                extra_keys.append(k)
+
+    headers = (
+        ["config"]
+        + [f"{c} ({unit})" for c in CATEGORY_ORDER]
+        + [f"total ({unit})"]
+        + extra_keys
+    )
+    table: list[list[str]] = [headers]
+    for row in rows:
+        cells = [row.label]
+        cells += [f"{row.get(c):.4g}" for c in CATEGORY_ORDER]
+        cells.append(f"{row.total:.4g}")
+        cells += [row.extra.get(k, "") for k in extra_keys]
+        table.append(cells)
+
+    widths = [max(len(r[i]) for r in table) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for i, r in enumerate(table):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Roofline performance model (the paper's Intel-Advisor analysis).
+
+The paper characterizes its kernels on KNL with a roofline model:
+attainable performance is ``min(peak_gflops, AI * mem_bw)`` where AI is
+arithmetic intensity (flops per byte moved).  It reports, per MPI
+process:
+
+======================  ========  =====  ============
+kernel                  GFLOPS    AI     bound
+======================  ========  =====  ============
+UoI_LASSO gemm (MKL)    30.83     3.59   DRAM memory
+UoI_LASSO gemv (MKL)    1.12      0.32   DRAM memory
+triangular solve        0.011     0.075  DRAM memory
+UoI_VAR sparse gemm     1.08      0.15   DRAM memory
+UoI_VAR sparse gemv     2.08      0.33   DRAM memory
+======================  ========  =====  ============
+
+:func:`classify` reproduces the "DRAM memory bound" verdicts;
+:func:`paper_kernel_points` returns the table above as data the Fig-2 /
+Fig-7 experiment drivers print alongside their breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simmpi.machine import MachineModel
+
+__all__ = [
+    "RooflinePoint",
+    "roofline_attainable",
+    "classify",
+    "paper_kernel_points",
+    "KNL_PEAK_GFLOPS",
+]
+
+#: Theoretical double-precision peak of one KNL *node* (68 cores x
+#: ~44.8 GFLOP/s with AVX-512 FMA at 1.4 GHz).  Intel Advisor draws its
+#: roofline at node level, with the DDR bandwidth (~90 GB/s) as the
+#: memory roof — which is why even the 30.83-GFLOPS gemm lands in the
+#: DRAM-bound region (3.59 FLOPs/B x 90 GB/s = 323 << 3,046).
+KNL_PEAK_GFLOPS = 3046.4
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on the roofline.
+
+    Attributes
+    ----------
+    kernel:
+        Kernel name.
+    gflops:
+        Measured (or modeled) achieved GFLOP/s.
+    intensity:
+        Arithmetic intensity in FLOPs/byte.
+    """
+
+    kernel: str
+    gflops: float
+    intensity: float
+
+    def __post_init__(self) -> None:
+        if self.gflops < 0 or self.intensity < 0:
+            raise ValueError("gflops and intensity must be >= 0")
+
+
+def roofline_attainable(
+    intensity: float,
+    *,
+    peak_gflops: float = KNL_PEAK_GFLOPS,
+    mem_bw_gbs: float = 90.0,
+) -> float:
+    """Attainable GFLOP/s at a given arithmetic intensity.
+
+    ``min(peak, AI * BW)`` — the classic two-segment roofline.
+    """
+    if intensity < 0:
+        raise ValueError(f"intensity must be >= 0, got {intensity}")
+    return min(peak_gflops, intensity * mem_bw_gbs)
+
+
+def classify(
+    point: RooflinePoint,
+    *,
+    machine: MachineModel | None = None,
+    peak_gflops: float = KNL_PEAK_GFLOPS,
+) -> str:
+    """Classify a kernel as ``"memory-bound"`` or ``"compute-bound"``.
+
+    A kernel is memory bound when the bandwidth roof at its intensity
+    lies below the compute peak — i.e. the ridge point is to its right.
+    All five of the paper's kernels land in the memory-bound regime.
+    """
+    bw = machine.mem_bw_gbs if machine is not None else 90.0
+    bw_roof = point.intensity * bw
+    return "memory-bound" if bw_roof < peak_gflops else "compute-bound"
+
+
+def paper_kernel_points() -> list[RooflinePoint]:
+    """The five kernel measurements reported in the paper (Section IV)."""
+    return [
+        RooflinePoint("uoi_lasso/gemm", 30.83, 3.59),
+        RooflinePoint("uoi_lasso/gemv", 1.12, 0.32),
+        RooflinePoint("uoi_lasso/trsv", 0.011, 0.075),
+        RooflinePoint("uoi_var/sparse_gemm", 1.08, 0.15),
+        RooflinePoint("uoi_var/sparse_gemv", 2.08, 0.33),
+    ]

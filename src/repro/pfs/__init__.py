@@ -1,0 +1,39 @@
+"""Simulated parallel filesystem + HDF5-like I/O.
+
+The paper's data path is: an HDF5 file on Cori's Lustre scratch
+(striped over 160 Object Storage Targets), read either *serially* by
+one core (the conventional method of Table II) or *in parallel* with
+HDF5 hyperslabs (the paper's Tier-1).  Neither Lustre nor HDF5 is
+available here, so this package provides:
+
+* :mod:`repro.pfs.lustre` — the cost model of a striped object store
+  (per-OST bandwidth, open/seek latencies, single-stream serial
+  bandwidth) as pure functions of a
+  :class:`~repro.simmpi.machine.MachineModel`, shared by the
+  functional layer and the Table-II analytic driver.
+* :mod:`repro.pfs.hdf5` — a functional file/dataset/hyperslab API
+  (:class:`SimH5File`) holding real numpy data, with serial and
+  collective-parallel read paths that charge virtual clocks with the
+  lustre model's costs.  Distributed algorithms read real bytes
+  through it, so correctness is testable end to end.
+"""
+
+from repro.pfs.lustre import (
+    parallel_read_time,
+    serial_chunked_read_time,
+    conventional_distribution_time,
+    randomized_shuffle_time,
+    effective_stripes,
+)
+from repro.pfs.hdf5 import SimH5File, SimDataset, Hyperslab
+
+__all__ = [
+    "parallel_read_time",
+    "serial_chunked_read_time",
+    "conventional_distribution_time",
+    "randomized_shuffle_time",
+    "effective_stripes",
+    "SimH5File",
+    "SimDataset",
+    "Hyperslab",
+]

@@ -1,0 +1,61 @@
+"""Simulated MPI substrate (``simmpi``).
+
+The paper ran on Cori KNL (9,688 nodes x 68 cores) with MPI + OpenMP.
+That hardware is not available here, so this package provides a
+from-scratch substitute with two coupled halves:
+
+1. **A functional SPMD engine** — :func:`repro.simmpi.run_spmd` runs
+   one Python thread per rank, and :class:`repro.simmpi.SimComm`
+   implements MPI semantics over shared memory: point-to-point
+   send/recv, the collectives the paper's implementation uses
+   (``Bcast``, ``Allreduce``, ``Gather``, ``Scatterv``, ...),
+   communicator ``split`` (used for the P_B x P_lambda process grids)
+   and one-sided RMA windows (``Put``/``Get``/``Lock``/``Fence``, used
+   by the randomized data distribution and the distributed Kronecker
+   product).  Distributed algorithms written against this API perform
+   the *real* data movement and arithmetic, so their numerical output
+   is checkable against serial references.
+
+2. **A virtual-time machine model** — every rank owns a
+   :class:`repro.simmpi.RankClock`; communication calls charge time
+   from alpha-beta cost models (:mod:`repro.simmpi.timing`)
+   parameterized by a :class:`repro.simmpi.MachineModel` (the
+   ``CORI_KNL`` preset is calibrated to the kernel rates the paper
+   measured with Intel Advisor).  Compute kernels charge time through
+   :mod:`repro.perf.flops` helpers.  Reported times are therefore
+   *modeled* times on the paper's machine, not wall-clock on this box,
+   which is what lets the scaling experiments reach the paper's
+   100,000+ core counts.
+"""
+
+from repro.simmpi.machine import MachineModel, CORI_KNL, LAPTOP
+from repro.simmpi.clock import RankClock, TimeCategory
+from repro.simmpi.comm import SimComm, CollectiveRequest, RecvRequest
+from repro.simmpi.executor import run_spmd, SpmdError
+from repro.simmpi.window import Window
+from repro.simmpi.trace import TraceEvent, Tracer
+from repro.simmpi import timing
+from repro.simmpi.reduce_ops import SUM, MAX, MIN, PROD, LAND, LOR
+
+__all__ = [
+    "MachineModel",
+    "CORI_KNL",
+    "LAPTOP",
+    "RankClock",
+    "TimeCategory",
+    "SimComm",
+    "CollectiveRequest",
+    "RecvRequest",
+    "run_spmd",
+    "SpmdError",
+    "Window",
+    "TraceEvent",
+    "Tracer",
+    "timing",
+    "SUM",
+    "MAX",
+    "MIN",
+    "PROD",
+    "LAND",
+    "LOR",
+]

@@ -1,0 +1,164 @@
+"""SPMD launcher: run an MPI-style program on N simulated ranks.
+
+:func:`run_spmd` is the simulated equivalent of
+``mpiexec -n N python program.py``: it creates a world communicator,
+one virtual clock and one thread per rank, runs
+``fn(comm, *args, **kwargs)`` everywhere, and returns the rank-ordered
+list of return values (plus the clocks, for timing reports).
+
+Error handling mirrors a well-behaved MPI runtime: the first rank that
+raises aborts the whole job — every rank blocked in a collective or
+``recv`` wakes up with :class:`~repro.simmpi.comm.SimAborted` — and the
+original exception is re-raised in the caller wrapped in
+:class:`SpmdError` with the failing rank attached.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.simmpi.clock import RankClock
+from repro.simmpi.comm import SimAborted, SimComm, _Rendezvous
+from repro.simmpi.machine import MachineModel, LAPTOP
+from repro.simmpi.trace import Tracer
+
+__all__ = ["run_spmd", "SpmdError", "SpmdResult"]
+
+
+class SpmdError(RuntimeError):
+    """Wraps the first exception raised by any simulated rank."""
+
+    def __init__(self, rank: int, original: BaseException) -> None:
+        super().__init__(f"rank {rank} failed: {original!r}")
+        self.rank = rank
+        self.original = original
+
+
+@dataclass
+class SpmdResult:
+    """Everything a simulated job run produces.
+
+    Attributes
+    ----------
+    values:
+        Rank-ordered return values of the rank function.
+    clocks:
+        Rank-ordered virtual clocks (for timing breakdowns).
+    trace:
+        The shared :class:`~repro.simmpi.trace.Tracer` when the run
+        was launched with ``trace=True``; otherwise ``None``.
+    """
+
+    values: list[Any]
+    clocks: list[RankClock]
+    trace: Tracer | None = None
+
+    @property
+    def elapsed(self) -> float:
+        """Modeled job time: the slowest rank's clock."""
+        return max(c.now for c in self.clocks)
+
+    def breakdown(self, how: str = "max") -> dict[str, float]:
+        """Per-category time report (see :func:`merge_breakdowns`)."""
+        from repro.simmpi.clock import merge_breakdowns
+
+        return merge_breakdowns(self.clocks, how=how)
+
+
+def run_spmd(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    machine: MachineModel = LAPTOP,
+    seed: int | None = None,
+    timing_noise: bool = False,
+    trace: bool = False,
+    **kwargs: Any,
+) -> SpmdResult:
+    """Execute ``fn(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
+
+    Parameters
+    ----------
+    nranks:
+        World size.  Keep it modest (<= ~32): each rank is an OS
+        thread on this machine; the large-scale numbers come from the
+        analytic model in :mod:`repro.perf.scaling`, not from spawning
+        100k threads.
+    fn:
+        The rank program.  Its first positional argument is the world
+        :class:`~repro.simmpi.comm.SimComm`.
+    machine:
+        Machine model used for all cost accounting.
+    seed:
+        Base seed for per-rank noise RNGs (only consulted when
+        ``timing_noise`` is on).
+    timing_noise:
+        Enable lognormal rank-to-rank jitter on collective completion
+        times (Fig.-5-style variability).  Off by default so functional
+        tests are deterministic.
+    trace:
+        Record every clock advance into a shared
+        :class:`~repro.simmpi.trace.Tracer` (profiler-style timeline),
+        returned on the result.
+
+    Returns
+    -------
+    SpmdResult
+        Return values and clocks for every rank.
+
+    Raises
+    ------
+    SpmdError
+        If any rank raised; carries the failing rank and original
+        exception.
+    """
+    if nranks < 1:
+        raise ValueError(f"nranks must be >= 1, got {nranks}")
+    if nranks > 512:
+        raise ValueError(
+            f"nranks={nranks} is unreasonable for the thread-based functional "
+            "simulator; use repro.perf.scaling for large-scale modeling"
+        )
+    rendezvous = _Rendezvous(nranks)
+    tracer = Tracer() if trace else None
+    clocks = [RankClock(rank=r, tracer=tracer) for r in range(nranks)]
+    values: list[Any] = [None] * nranks
+    errors: list[tuple[int, BaseException]] = []
+    errors_lock = threading.Lock()
+
+    def worker(rank: int) -> None:
+        rng = None
+        if timing_noise:
+            rng = np.random.default_rng(
+                (seed if seed is not None else 0) * 1_000_003 + rank
+            )
+        comm = SimComm(rendezvous, rank, nranks, clocks[rank], machine, rng)
+        try:
+            values[rank] = fn(comm, *args, **kwargs)
+        except SimAborted:
+            # Secondary failure caused by another rank's abort; the
+            # primary error is already recorded.
+            pass
+        except BaseException as exc:  # noqa: BLE001 - must propagate anything
+            with errors_lock:
+                errors.append((rank, exc))
+            rendezvous.abort(f"rank {rank} raised {exc!r}")
+
+    threads = [
+        threading.Thread(target=worker, args=(r,), name=f"simmpi-rank-{r}")
+        for r in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if errors:
+        errors.sort(key=lambda e: e[0])
+        rank, exc = errors[0]
+        raise SpmdError(rank, exc) from exc
+    return SpmdResult(values=values, clocks=clocks, trace=tracer)

@@ -1,0 +1,174 @@
+"""Machine models for virtual-time simulation.
+
+A :class:`MachineModel` collects the rates that determine how long
+compute, communication and I/O take on the modeled system.  The
+``CORI_KNL`` preset is calibrated to the paper:
+
+* kernel rates come straight from the paper's Intel-Advisor roofline
+  measurements (Section IV): dense gemm 30.83 GFLOPS, dense gemv
+  1.12 GFLOPS, triangular solve 0.011 GFLOPS, sparse gemm 1.08 GFLOPS,
+  sparse gemv 2.08 GFLOPS — all per MPI process (4 OpenMP threads);
+* network parameters are representative of the Cray Aries
+  interconnect (~1 microsecond latency, ~8 GB/s injection per node);
+* filesystem parameters model the Cori Lustre scratch system with 160
+  OSTs (the paper stripes its HDF5 files over 160 OSTs).
+
+All rates are plain floats so alternative machines (or sensitivity
+studies) are one dataclass instantiation away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MachineModel", "CORI_KNL", "LAPTOP"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Performance parameters of the modeled cluster.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    cores_per_node:
+        Physical cores per node (68 for KNL).
+    gemm_gflops, gemv_gflops, trsv_gflops:
+        Dense kernel rates per MPI process, in GFLOP/s.
+    sp_gemm_gflops, sp_gemv_gflops:
+        Sparse kernel rates per MPI process, in GFLOP/s.
+    mem_bw_gbs:
+        Sustained DRAM bandwidth per process in GB/s (MCDRAM-backed).
+    net_latency_s:
+        Point-to-point message latency (the alpha term), seconds.
+    net_bw_gbs:
+        Point-to-point bandwidth per link (the beta term), GB/s.
+    net_noise:
+        Multiplicative spread of communication-time variability across
+        ranks (drives the T_min/T_max gap of the paper's Fig. 5);
+        0 disables variability.
+    ost_count:
+        Number of Lustre object storage targets available for striping.
+    ost_bw_gbs:
+        Sustained read bandwidth of a single OST, GB/s.
+    file_open_s:
+        Cost of opening the (striped) file once, seconds.
+    seek_s:
+        Per-request positioning cost for serial chunked reads, seconds.
+    node_mem_gb:
+        Usable memory per node in GB (96 GB DDR on Cori KNL); used by
+        the conventional-distribution model, which cannot hold large
+        datasets resident.
+    serial_read_gbs:
+        Sustained bandwidth of a *single* process reading through
+        serial HDF5, GB/s.  Calibrated to the paper's conventional
+        read times (≈0.09–0.12 GB/s across Table II).
+    chunk_bytes:
+        Chunk size the conventional method reads per request (it "can
+        read only a small chunk of data at a time").
+    rma_random_bw_gbs:
+        Effective per-process bandwidth of the Tier-2 one-sided random
+        shuffle across nodes — small random-target Gets achieve far
+        less than the link rate; calibrated so the randomized
+        distribution times land on Table II's 2.6–5.7 s plateau.
+    """
+
+    name: str
+    cores_per_node: int
+    gemm_gflops: float
+    gemv_gflops: float
+    trsv_gflops: float
+    sp_gemm_gflops: float
+    sp_gemv_gflops: float
+    mem_bw_gbs: float
+    net_latency_s: float
+    net_bw_gbs: float
+    net_noise: float
+    ost_count: int
+    ost_bw_gbs: float
+    file_open_s: float
+    seek_s: float
+    node_mem_gb: float
+    serial_read_gbs: float
+    chunk_bytes: int
+    rma_random_bw_gbs: float
+
+    def __post_init__(self) -> None:
+        if self.cores_per_node < 1:
+            raise ValueError("cores_per_node must be >= 1")
+        for field_name in (
+            "gemm_gflops",
+            "gemv_gflops",
+            "trsv_gflops",
+            "sp_gemm_gflops",
+            "sp_gemv_gflops",
+            "mem_bw_gbs",
+            "net_bw_gbs",
+            "ost_bw_gbs",
+            "serial_read_gbs",
+            "rma_random_bw_gbs",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be > 0")
+        for field_name in ("net_latency_s", "net_noise", "file_open_s", "seek_s"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be >= 0")
+
+    def nodes_for(self, cores: int) -> int:
+        """Number of nodes needed to host ``cores`` MPI processes."""
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        return -(-cores // self.cores_per_node)
+
+    def with_(self, **overrides) -> "MachineModel":
+        """Return a copy with some parameters replaced."""
+        return replace(self, **overrides)
+
+
+#: Cori KNL calibration (see module docstring for provenance).
+CORI_KNL = MachineModel(
+    name="cori-knl",
+    cores_per_node=68,
+    gemm_gflops=30.83,
+    gemv_gflops=1.12,
+    trsv_gflops=0.011,
+    sp_gemm_gflops=1.08,
+    sp_gemv_gflops=2.08,
+    mem_bw_gbs=90.0,
+    net_latency_s=1.3e-6,
+    net_bw_gbs=8.0,
+    net_noise=0.35,
+    ost_count=160,
+    ost_bw_gbs=1.0,
+    file_open_s=0.05,
+    seek_s=0.004,
+    node_mem_gb=96.0,
+    serial_read_gbs=0.105,
+    chunk_bytes=256 * 1024**2,
+    rma_random_bw_gbs=0.0085,
+)
+
+#: A tiny workstation-like model, handy for fast functional tests where
+#: absolute times are irrelevant.
+LAPTOP = MachineModel(
+    name="laptop",
+    cores_per_node=8,
+    gemm_gflops=50.0,
+    gemv_gflops=5.0,
+    trsv_gflops=1.0,
+    sp_gemm_gflops=2.0,
+    sp_gemv_gflops=4.0,
+    mem_bw_gbs=20.0,
+    net_latency_s=1e-7,
+    net_bw_gbs=10.0,
+    net_noise=0.0,
+    ost_count=4,
+    ost_bw_gbs=0.5,
+    file_open_s=0.001,
+    seek_s=0.0001,
+    node_mem_gb=16.0,
+    serial_read_gbs=0.2,
+    chunk_bytes=64 * 1024**2,
+    rma_random_bw_gbs=1.0,
+)

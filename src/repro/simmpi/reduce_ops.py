@@ -1,0 +1,44 @@
+"""Reduction operators for simulated collectives.
+
+Mirrors the handful of MPI predefined operations the paper's code
+needs (``MPI_SUM`` for the ADMM consensus average, ``MPI_MAX``/``MIN``
+for timing statistics, logical AND/OR for convergence votes).  Each op
+works elementwise on numpy arrays and on Python scalars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["ReduceOp", "SUM", "MAX", "MIN", "PROD", "LAND", "LOR"]
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """A named, associative, commutative binary reduction."""
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+    def __call__(self, a, b):
+        return self.fn(a, b)
+
+    def reduce_all(self, contributions: list) -> np.ndarray | float:
+        """Fold a list of contributions left-to-right."""
+        if not contributions:
+            raise ValueError(f"{self.name}: nothing to reduce")
+        acc = contributions[0]
+        for item in contributions[1:]:
+            acc = self.fn(acc, item)
+        return acc
+
+
+SUM = ReduceOp("SUM", lambda a, b: np.add(a, b))
+MAX = ReduceOp("MAX", lambda a, b: np.maximum(a, b))
+MIN = ReduceOp("MIN", lambda a, b: np.minimum(a, b))
+PROD = ReduceOp("PROD", lambda a, b: np.multiply(a, b))
+LAND = ReduceOp("LAND", lambda a, b: np.logical_and(a, b))
+LOR = ReduceOp("LOR", lambda a, b: np.logical_or(a, b))

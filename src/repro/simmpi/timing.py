@@ -1,0 +1,156 @@
+"""Alpha-beta communication cost models.
+
+Each function returns the modeled time (seconds) of one MPI operation
+on a :class:`repro.simmpi.machine.MachineModel`.  These formulas are
+shared by the functional simulator (which charges them to per-rank
+virtual clocks) and the large-scale analytic drivers in
+:mod:`repro.perf.scaling` (which evaluate them at the paper's core
+counts) — so the small functional runs validate exactly the model that
+produces the headline scaling figures.
+
+Conventions: ``alpha`` = per-message latency, ``beta`` = seconds/byte
+(= 1 / bandwidth), ``P`` = number of participating ranks.  Collectives
+use the standard algorithm costs (Thakur, Rabenseifner & Gropp 2005):
+
+* Allreduce (Rabenseifner): ``2 log2(P) alpha + 2 ((P-1)/P) n beta``
+  plus the local reduction arithmetic.
+* Bcast (scatter+allgather): ``2 log2(P) alpha + 2 ((P-1)/P) n beta``.
+* Gather/Scatter (binomial): ``log2(P) alpha + ((P-1)/P) n beta``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.simmpi.machine import MachineModel
+
+__all__ = [
+    "p2p_time",
+    "allreduce_time",
+    "bcast_time",
+    "gather_time",
+    "scatter_time",
+    "allgather_time",
+    "alltoall_time",
+    "barrier_time",
+    "rma_time",
+    "allreduce_minmax",
+]
+
+#: Modeled per-byte cost of applying the reduction operator (one FLOP
+#: per 8-byte element at memory-bandwidth speed is folded into this).
+_REDUCE_FLOP_BYTES_PER_S = 2.0e9
+
+
+def _beta(machine: MachineModel) -> float:
+    return 1.0 / (machine.net_bw_gbs * 1e9)
+
+
+def _log2p(P: int) -> float:
+    if P < 1:
+        raise ValueError(f"P must be >= 1, got {P}")
+    return math.log2(P) if P > 1 else 0.0
+
+
+def p2p_time(machine: MachineModel, nbytes: int) -> float:
+    """One point-to-point message of ``nbytes``."""
+    if nbytes < 0:
+        raise ValueError("nbytes must be >= 0")
+    return machine.net_latency_s + nbytes * _beta(machine)
+
+
+def allreduce_time(machine: MachineModel, nbytes: int, P: int) -> float:
+    """Rabenseifner allreduce of an ``nbytes`` buffer over ``P`` ranks."""
+    if P == 1:
+        return 0.0
+    alpha, beta = machine.net_latency_s, _beta(machine)
+    transfer = 2.0 * _log2p(P) * alpha + 2.0 * ((P - 1) / P) * nbytes * beta
+    reduce_arith = ((P - 1) / P) * nbytes / _REDUCE_FLOP_BYTES_PER_S
+    return transfer + reduce_arith
+
+
+def bcast_time(machine: MachineModel, nbytes: int, P: int) -> float:
+    """Scatter+allgather broadcast of ``nbytes`` over ``P`` ranks."""
+    if P == 1:
+        return 0.0
+    alpha, beta = machine.net_latency_s, _beta(machine)
+    return 2.0 * _log2p(P) * alpha + 2.0 * ((P - 1) / P) * nbytes * beta
+
+
+def gather_time(machine: MachineModel, nbytes_total: int, P: int) -> float:
+    """Binomial gather collecting ``nbytes_total`` at the root."""
+    if P == 1:
+        return 0.0
+    alpha, beta = machine.net_latency_s, _beta(machine)
+    return _log2p(P) * alpha + ((P - 1) / P) * nbytes_total * beta
+
+
+def scatter_time(machine: MachineModel, nbytes_total: int, P: int) -> float:
+    """Binomial scatter distributing ``nbytes_total`` from the root."""
+    return gather_time(machine, nbytes_total, P)
+
+
+def allgather_time(machine: MachineModel, nbytes_total: int, P: int) -> float:
+    """Ring allgather: everyone ends with the ``nbytes_total`` buffer."""
+    if P == 1:
+        return 0.0
+    alpha, beta = machine.net_latency_s, _beta(machine)
+    return (P - 1) * alpha + ((P - 1) / P) * nbytes_total * beta
+
+
+def alltoall_time(machine: MachineModel, nbytes_per_pair: int, P: int) -> float:
+    """Pairwise-exchange all-to-all with ``nbytes_per_pair`` per pair."""
+    if P == 1:
+        return 0.0
+    alpha, beta = machine.net_latency_s, _beta(machine)
+    return (P - 1) * (alpha + nbytes_per_pair * beta)
+
+
+def barrier_time(machine: MachineModel, P: int) -> float:
+    """Dissemination barrier: ``ceil(log2 P)`` rounds of latency."""
+    if P == 1:
+        return 0.0
+    return math.ceil(_log2p(P)) * machine.net_latency_s
+
+
+def rma_time(machine: MachineModel, nbytes: int, *, contention: int = 1) -> float:
+    """One one-sided Put/Get of ``nbytes``.
+
+    ``contention`` models how many origins target the same exposure
+    window concurrently: the target's injection bandwidth is shared, so
+    the effective per-byte cost scales with it.  This is exactly the
+    "few reader cores serving hundreds of thousands of cores"
+    bottleneck the paper identifies for the distributed Kronecker
+    product.
+    """
+    if nbytes < 0:
+        raise ValueError("nbytes must be >= 0")
+    if contention < 1:
+        raise ValueError("contention must be >= 1")
+    return machine.net_latency_s + nbytes * _beta(machine) * contention
+
+
+def allreduce_minmax(
+    machine: MachineModel,
+    nbytes: int,
+    P: int,
+    rng: np.random.Generator,
+    *,
+    samples: int = 32,
+) -> tuple[float, float]:
+    """Modeled (T_min, T_max) of an allreduce across ranks (Fig. 5).
+
+    Real large-scale collectives show run-to-run and rank-to-rank
+    variability from network contention and OS noise.  We model each
+    observation as the base cost scaled by a lognormal factor with
+    sigma = ``machine.net_noise`` and report the extremes over
+    ``samples`` draws (the paper plots T_min and T_max of one
+    MPI_Allreduce per configuration).
+    """
+    base = allreduce_time(machine, nbytes, P)
+    if machine.net_noise == 0.0 or P == 1:
+        return base, base
+    factors = rng.lognormal(mean=0.0, sigma=machine.net_noise, size=samples)
+    return float(base * factors.min()), float(base * factors.max())

@@ -1,0 +1,140 @@
+"""Execution tracing for simulated runs (profiler-style timelines).
+
+The paper's analysis leaned on profiling tools (Intel Advisor, MPI
+timers) to attribute runtime to categories.  This module provides the
+simulated equivalent: when a run is launched with ``trace=True``,
+every virtual-clock advance is recorded as a :class:`TraceEvent`
+(rank, category, interval), and the resulting :class:`Tracer` can
+summarize per-category totals or render an ASCII timeline — useful
+when diagnosing why a distributed algorithm's modeled time went where
+it did.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.simmpi.clock import TimeCategory
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One attributed interval on one rank's virtual clock.
+
+    Attributes
+    ----------
+    rank:
+        The rank whose clock advanced.
+    category:
+        What the interval was attributed to.
+    start, end:
+        Virtual-time interval (``end >= start``).
+    """
+
+    rank: int
+    category: TimeCategory
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """Thread-safe collector of :class:`TraceEvent` records."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+        self._lock = threading.Lock()
+
+    def record(
+        self, rank: int, category: TimeCategory, start: float, end: float
+    ) -> None:
+        """Append one interval (zero-length intervals are dropped)."""
+        if end < start:
+            raise ValueError(f"end {end} before start {start}")
+        if end == start:
+            return
+        with self._lock:
+            self._events.append(TraceEvent(rank, category, start, end))
+
+    def events(
+        self,
+        *,
+        rank: int | None = None,
+        category: TimeCategory | None = None,
+    ) -> list[TraceEvent]:
+        """Events, optionally filtered, ordered by start time."""
+        with self._lock:
+            out = list(self._events)
+        if rank is not None:
+            out = [e for e in out if e.rank == rank]
+        if category is not None:
+            out = [e for e in out if e.category == category]
+        out.sort(key=lambda e: (e.start, e.rank))
+        return out
+
+    def total(self, rank: int, category: TimeCategory) -> float:
+        """Summed duration for one (rank, category) pair."""
+        return sum(e.duration for e in self.events(rank=rank, category=category))
+
+    def span(self) -> tuple[float, float]:
+        """(earliest start, latest end) over all events; (0, 0) if empty."""
+        with self._lock:
+            if not self._events:
+                return 0.0, 0.0
+            return (
+                min(e.start for e in self._events),
+                max(e.end for e in self._events),
+            )
+
+    def timeline(self, *, width: int = 72) -> str:
+        """ASCII per-rank timeline (one row per rank).
+
+        Characters: ``C`` compute, ``M`` communication (message),
+        ``D`` distribution, ``I`` data I/O, ``.`` idle.  When several
+        categories fall into one cell, the one covering the most time
+        wins.
+        """
+        if width < 8:
+            raise ValueError("width must be >= 8")
+        lo, hi = self.span()
+        if hi <= lo:
+            return "(no events)"
+        glyph = {
+            TimeCategory.COMPUTE: "C",
+            TimeCategory.COMMUNICATION: "M",
+            TimeCategory.DISTRIBUTION: "D",
+            TimeCategory.DATA_IO: "I",
+        }
+        ranks = sorted({e.rank for e in self.events()})
+        scale = (hi - lo) / width
+        lines = [f"timeline: {hi - lo:.3e}s over {len(ranks)} ranks "
+                 f"(C=compute M=comm D=distr I=io)"]
+        for r in ranks:
+            cover = [dict() for _ in range(width)]
+            for e in self.events(rank=r):
+                c0 = int((e.start - lo) / scale)
+                c1 = max(c0, min(width - 1, int((e.end - lo) / scale)))
+                for c in range(c0, c1 + 1):
+                    cell_lo = lo + c * scale
+                    cell_hi = cell_lo + scale
+                    overlap = min(e.end, cell_hi) - max(e.start, cell_lo)
+                    if overlap > 0:
+                        cover[c][e.category] = (
+                            cover[c].get(e.category, 0.0) + overlap
+                        )
+            row = "".join(
+                glyph[max(cell, key=cell.get)] if cell else "."
+                for cell in cover
+            )
+            lines.append(f"rank {r:>3} |{row}|")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

@@ -1,0 +1,160 @@
+"""One-sided RMA windows (MPI_Win Put/Get/Lock/Fence).
+
+The paper's two data-movement contributions both ride on MPI one-sided
+communication:
+
+* the Tier-2 randomized shuffle of :mod:`repro.distribution.randomized`
+  uses ``Get`` to pull random sample rows out of other ranks' Tier-1
+  buffers;
+* the distributed Kronecker product of
+  :mod:`repro.distribution.kron_dist` has a small set of ``n_reader``
+  ranks expose X and Y in windows, and every compute rank ``Get``\\ s
+  the blocks it needs to assemble its slice of ``(I ⊗ X)`` and
+  ``vec Y``.
+
+A :class:`Window` is created collectively; each rank may expose a
+local numpy array (or nothing).  ``Get``/``Put`` copy real data under a
+per-target mutex and charge the *origin's* clock with the RMA cost
+model — including a ``contention`` factor for the many-origins-one-
+target hot spot that the paper identifies as the UoI_VAR distribution
+bottleneck.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.simmpi import timing
+from repro.simmpi.clock import TimeCategory
+from repro.simmpi.comm import SimComm
+
+__all__ = ["Window"]
+
+
+class _WindowState:
+    """Shared state of one window: exposed buffers + per-target locks."""
+
+    def __init__(self, size: int) -> None:
+        self.buffers: dict[int, np.ndarray] = {}
+        self.locks = [threading.Lock() for _ in range(size)]
+        #: Count of origins currently targeting each rank, used to model
+        #: bandwidth sharing at the target NIC.
+        self.active = [0] * size
+        self.active_lock = threading.Lock()
+
+
+class Window:
+    """Per-rank handle on a collectively created RMA window.
+
+    Parameters
+    ----------
+    comm:
+        Communicator over which the window is created (collective).
+    local:
+        1-D or 2-D numpy array this rank exposes, or ``None`` to expose
+        nothing (pure-origin ranks).
+    category:
+        Time category RMA operations charge to —
+        ``TimeCategory.DISTRIBUTION`` by default, matching the paper's
+        "Distribution" bar.
+    """
+
+    def __init__(
+        self,
+        comm: SimComm,
+        local: np.ndarray | None = None,
+        *,
+        category: TimeCategory = TimeCategory.DISTRIBUTION,
+    ) -> None:
+        self.comm = comm
+        self.category = category
+        if local is not None:
+            local = np.ascontiguousarray(local)
+        # Collective creation: rank 0 allocates the shared state and
+        # broadcasts it; everyone registers its exposed buffer.
+        state = comm.bcast(
+            _WindowState(comm.size) if comm.rank == 0 else None,
+            root=0,
+            category=category,
+        )
+        self._state = state
+        if local is not None:
+            state.buffers[comm.rank] = local
+        comm.barrier(category=category)
+
+    def _check_target(self, target_rank: int) -> np.ndarray:
+        if not (0 <= target_rank < self.comm.size):
+            raise ValueError(
+                f"target_rank {target_rank} out of range for size {self.comm.size}"
+            )
+        buf = self._state.buffers.get(target_rank)
+        if buf is None:
+            raise ValueError(f"rank {target_rank} exposed no buffer in this window")
+        return buf
+
+    def _charge(self, nbytes: int, target_rank: int) -> None:
+        with self._state.active_lock:
+            contention = max(1, self._state.active[target_rank])
+        self.comm.clock.charge(
+            self.category, timing.rma_time(self.comm.machine, nbytes, contention=contention)
+        )
+
+    def get(self, target_rank: int, key) -> np.ndarray:
+        """One-sided read of ``exposed[key]`` from ``target_rank``.
+
+        ``key`` is any numpy basic/advanced index (slice, fancy index,
+        tuple).  Returns a private copy; charges this rank's clock.
+        """
+        buf = self._check_target(target_rank)
+        state = self._state
+        with state.active_lock:
+            state.active[target_rank] += 1
+        try:
+            with state.locks[target_rank]:
+                out = np.array(buf[key], copy=True)
+        finally:
+            with state.active_lock:
+                state.active[target_rank] -= 1
+        self._charge(out.nbytes, target_rank)
+        return out
+
+    def put(self, target_rank: int, key, value: np.ndarray) -> None:
+        """One-sided write of ``value`` into ``exposed[key]`` at ``target_rank``."""
+        buf = self._check_target(target_rank)
+        value = np.asarray(value)
+        state = self._state
+        with state.active_lock:
+            state.active[target_rank] += 1
+        try:
+            with state.locks[target_rank]:
+                buf[key] = value
+        finally:
+            with state.active_lock:
+                state.active[target_rank] -= 1
+        self._charge(value.nbytes, target_rank)
+
+    def accumulate(self, target_rank: int, key, value: np.ndarray) -> None:
+        """One-sided ``+=`` (MPI_Accumulate with MPI_SUM)."""
+        buf = self._check_target(target_rank)
+        value = np.asarray(value)
+        state = self._state
+        with state.active_lock:
+            state.active[target_rank] += 1
+        try:
+            with state.locks[target_rank]:
+                buf[key] += value
+        finally:
+            with state.active_lock:
+                state.active[target_rank] -= 1
+        self._charge(value.nbytes, target_rank)
+
+    def fence(self) -> None:
+        """Synchronize all window participants (MPI_Win_fence)."""
+        self.comm.barrier(category=self.category)
+
+    def free(self) -> None:
+        """Collective teardown (drops exposed-buffer references)."""
+        self.comm.barrier(category=self.category)
+        self._state.buffers.pop(self.comm.rank, None)

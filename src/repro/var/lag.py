@@ -1,0 +1,131 @@
+"""Lag-matrix construction (paper eqs. 7-8) and coefficient bookkeeping.
+
+For a series ``X_1 ... X_N`` and order ``d`` the multivariate
+least-squares form ``Y = X B + E`` uses
+
+    Y = (X_N, X_{N-1}, ..., X_{d+1})'                (eq. 7, rows in
+                                                      descending time)
+    X row for target X_t = (X'_{t-1}, X'_{t-2}, ..., X'_{t-d})  (eq. 8)
+
+with coefficient matrix ``B' = (A_1 A_2 ... A_d)`` — i.e. ``B`` stacks
+``A_1', ..., A_d'`` vertically.  With an intercept, a leading ones
+column is appended to ``X`` and ``mu'`` becomes the first row of
+``B``; Algorithm 2's line 31 ("partition beta-hat and rearrange into
+(A_1 ... A_d) and mu") is :func:`partition_coefficients`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["build_lag_matrices", "partition_coefficients", "stack_coefficients"]
+
+
+def build_lag_matrices(
+    series: np.ndarray,
+    order: int,
+    *,
+    add_intercept: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build ``(Y, X)`` of eqs. 7-8 from an ``(N, p)`` series.
+
+    Parameters
+    ----------
+    series:
+        Observations, row ``t`` = ``X_{t+1}`` (time increases down the
+        array).
+    order:
+        VAR order ``d``; needs ``N > d``.
+    add_intercept:
+        Prepend a ones column to ``X`` (so the fitted ``B`` carries
+        ``mu`` in its first row).
+
+    Returns
+    -------
+    (Y, X):
+        ``Y`` is ``(N - d, p)``; ``X`` is ``(N - d, dp)`` (or
+        ``(N - d, 1 + dp)`` with intercept).  Row ``r`` of both refers
+        to target time ``t = N - r`` (descending, as in the paper).
+    """
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 2:
+        raise ValueError(f"series must be 2-D (N, p), got {series.shape}")
+    N, p = series.shape
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    if N <= order:
+        raise ValueError(f"need N > d: N={N}, d={order}")
+    m = N - order
+    # Targets X_N ... X_{d+1}: series rows N-1 down to d.
+    Y = series[np.arange(N - 1, order - 1, -1)]
+    blocks = []
+    for j in range(1, order + 1):
+        # Lag-j regressor for target X_t is X_{t-j}: rows N-1-j down to d-j.
+        blocks.append(series[np.arange(N - 1 - j, order - 1 - j, -1)])
+    X = np.hstack(blocks)
+    if add_intercept:
+        X = np.hstack([np.ones((m, 1)), X])
+    return np.ascontiguousarray(Y), np.ascontiguousarray(X)
+
+
+def stack_coefficients(
+    coefs: list[np.ndarray],
+    intercept: np.ndarray | None = None,
+) -> np.ndarray:
+    """Assemble ``B`` from ``(A_1 ... A_d)`` (+ optional ``mu``).
+
+    The inverse of :func:`partition_coefficients`: ``B`` is ``(dp, p)``
+    (or ``(1 + dp, p)``) with ``B' = (mu A_1 ... A_d)``.
+    """
+    coefs = [np.asarray(A, dtype=float) for A in coefs]
+    p = coefs[0].shape[0]
+    rows = [A.T for A in coefs]
+    if intercept is not None:
+        intercept = np.asarray(intercept, dtype=float).reshape(1, p)
+        rows = [intercept] + rows
+    return np.vstack(rows)
+
+
+def partition_coefficients(
+    B: np.ndarray,
+    p: int,
+    order: int,
+    *,
+    has_intercept: bool = False,
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Rearrange a fitted ``B`` (or flattened ``vec B``) into ``(A_j, mu)``.
+
+    Parameters
+    ----------
+    B:
+        ``(k, p)`` coefficient matrix or its column-stacked ``vec`` of
+        length ``k * p``, where ``k = dp (+ 1 with intercept)``.
+    p:
+        Process dimension.
+    order:
+        VAR order ``d``.
+    has_intercept:
+        Whether row 0 of ``B`` is the intercept.
+
+    Returns
+    -------
+    (coefs, mu):
+        ``coefs`` is the list ``[A_1, ..., A_d]``; ``mu`` is ``(p,)``
+        (zeros when ``has_intercept`` is False).
+    """
+    k = (1 if has_intercept else 0) + order * p
+    B = np.asarray(B, dtype=float)
+    if B.ndim == 1:
+        if B.shape != (k * p,):
+            raise ValueError(f"vec B length {B.shape[0]} != {k * p}")
+        B = B.reshape((k, p), order="F")
+    if B.shape != (k, p):
+        raise ValueError(f"B shape {B.shape} != ({k}, {p})")
+    if has_intercept:
+        mu = B[0].copy()
+        body = B[1:]
+    else:
+        mu = np.zeros(p)
+        body = B
+    coefs = [body[j * p : (j + 1) * p].T.copy() for j in range(order)]
+    return coefs, mu

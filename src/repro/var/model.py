@@ -1,0 +1,159 @@
+"""The VAR(d) process (paper eq. 6).
+
+    X_t = mu + sum_{j=1..d} A_j X_{t-j} + U_t,   U_t ~ N_p(0, Sigma)
+
+with the stability constraint ``det(I - sum_j A_j z^j) != 0`` for all
+``|z| <= 1`` — equivalently, the companion matrix's spectral radius is
+strictly below one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["VARProcess", "companion_matrix", "spectral_radius", "is_stable"]
+
+
+def companion_matrix(coefs: list[np.ndarray] | np.ndarray) -> np.ndarray:
+    """Companion form of VAR coefficient matrices.
+
+    For ``d`` matrices of shape ``(p, p)`` returns the ``(dp, dp)``
+    block matrix ``[[A_1 ... A_d], [I 0 ... 0], ..., [0 ... I 0]]``
+    whose eigenvalues decide stability.
+    """
+    coefs = [np.asarray(A, dtype=float) for A in coefs]
+    if not coefs:
+        raise ValueError("need at least one coefficient matrix")
+    p = coefs[0].shape[0]
+    for A in coefs:
+        if A.shape != (p, p):
+            raise ValueError(f"all A_j must be ({p}, {p}); got {A.shape}")
+    d = len(coefs)
+    comp = np.zeros((d * p, d * p))
+    comp[:p] = np.hstack(coefs)
+    if d > 1:
+        comp[p:, :-p] = np.eye((d - 1) * p)
+    return comp
+
+
+def spectral_radius(coefs: list[np.ndarray] | np.ndarray) -> float:
+    """Largest |eigenvalue| of the companion matrix."""
+    return float(np.max(np.abs(np.linalg.eigvals(companion_matrix(coefs)))))
+
+
+def is_stable(coefs: list[np.ndarray] | np.ndarray, *, tol: float = 1e-10) -> bool:
+    """Stability check: spectral radius strictly below ``1 - tol``."""
+    return spectral_radius(coefs) < 1.0 - tol
+
+
+@dataclass
+class VARProcess:
+    """A concrete VAR(d) process: coefficients, intercept, noise.
+
+    Attributes
+    ----------
+    coefs:
+        List of ``d`` coefficient matrices ``A_1 ... A_d``, each
+        ``(p, p)``; ``A_j[i, :]`` are the weights of lag-``j`` values
+        in component ``i``'s equation.
+    intercept:
+        ``(p,)`` drift ``mu`` (defaults to zero).
+    noise_cov:
+        ``(p, p)`` disturbance covariance ``Sigma`` (defaults to I).
+    """
+
+    coefs: list[np.ndarray]
+    intercept: np.ndarray | None = None
+    noise_cov: np.ndarray | None = None
+    _chol: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.coefs = [np.asarray(A, dtype=float) for A in self.coefs]
+        if not self.coefs:
+            raise ValueError("need at least one coefficient matrix")
+        p = self.coefs[0].shape[0]
+        for A in self.coefs:
+            if A.shape != (p, p):
+                raise ValueError(f"all A_j must be ({p}, {p}); got {A.shape}")
+        if self.intercept is None:
+            self.intercept = np.zeros(p)
+        else:
+            self.intercept = np.asarray(self.intercept, dtype=float)
+            if self.intercept.shape != (p,):
+                raise ValueError(f"intercept must be ({p},)")
+        if self.noise_cov is None:
+            self.noise_cov = np.eye(p)
+        else:
+            self.noise_cov = np.asarray(self.noise_cov, dtype=float)
+            if self.noise_cov.shape != (p, p):
+                raise ValueError(f"noise_cov must be ({p}, {p})")
+        self._chol = np.linalg.cholesky(self.noise_cov)
+
+    @property
+    def p(self) -> int:
+        """Process dimension (number of network nodes)."""
+        return self.coefs[0].shape[0]
+
+    @property
+    def order(self) -> int:
+        """Autoregressive order ``d``."""
+        return len(self.coefs)
+
+    def stable(self) -> bool:
+        """Whether the process satisfies the stability constraint."""
+        return is_stable(self.coefs)
+
+    def simulate(
+        self,
+        n_samples: int,
+        rng: np.random.Generator,
+        *,
+        burn_in: int = 200,
+        initial: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Draw ``n_samples`` consecutive observations.
+
+        Parameters
+        ----------
+        n_samples:
+            Length of the returned series.
+        rng:
+            Source of randomness.
+        burn_in:
+            Extra leading steps discarded so the series starts near
+            stationarity.
+        initial:
+            Optional ``(d, p)`` history to start from (defaults to
+            zeros).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_samples, p)`` array, row ``t`` = ``X_t``.
+        """
+        if n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        if burn_in < 0:
+            raise ValueError("burn_in must be >= 0")
+        p, d = self.p, self.order
+        total = n_samples + burn_in
+        hist = np.zeros((d, p)) if initial is None else np.asarray(initial, float)
+        if hist.shape != (d, p):
+            raise ValueError(f"initial must be ({d}, {p})")
+        out = np.empty((total, p))
+        noise = rng.standard_normal((total, p)) @ self._chol.T
+        window = hist.copy()  # window[0] = X_{t-1}, window[1] = X_{t-2}, ...
+        for t in range(total):
+            x = self.intercept + noise[t]
+            for j in range(d):
+                x = x + self.coefs[j] @ window[j]
+            out[t] = x
+            if d > 0:
+                window = np.vstack([x, window[:-1]])
+        return out[burn_in:]
+
+    def support(self, *, tol: float = 0.0) -> np.ndarray:
+        """Boolean ``(d, p, p)`` mask of (strictly) nonzero coefficients."""
+        return np.stack([np.abs(A) > tol for A in self.coefs])

@@ -1,0 +1,170 @@
+"""Tests for the serial LASSO-ADMM solver."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import LassoADMM, lasso_admm, lasso_cd
+
+
+@pytest.fixture
+def problem():
+    rng = np.random.default_rng(0)
+    n, p = 80, 12
+    X = rng.standard_normal((n, p))
+    beta = np.zeros(p)
+    beta[[1, 4, 8]] = [2.0, -3.0, 1.5]
+    y = X @ beta + 0.1 * rng.standard_normal(n)
+    return X, y, beta
+
+
+class TestLassoADMM:
+    def test_matches_coordinate_descent(self, problem):
+        X, y, _ = problem
+        lam = 4.0
+        a = LassoADMM(X, y).solve(lam).beta
+        c = lasso_cd(X, y, lam)
+        np.testing.assert_allclose(a, c, atol=1e-3)
+
+    def test_lam_zero_gives_ols(self, problem):
+        X, y, _ = problem
+        ols = np.linalg.lstsq(X, y, rcond=None)[0]
+        res = LassoADMM(X, y).solve(0.0)
+        np.testing.assert_allclose(res.beta, ols, atol=1e-4)
+
+    def test_recovers_planted_support(self, problem):
+        X, y, beta = problem
+        res = LassoADMM(X, y).solve(5.0)
+        assert set(np.flatnonzero(res.beta)) == set(np.flatnonzero(beta))
+
+    def test_result_is_exactly_sparse(self, problem):
+        X, y, _ = problem
+        res = LassoADMM(X, y).solve(20.0)
+        # Soft-threshold output has exact zeros, not tiny values.
+        small = res.beta[np.abs(res.beta) < 1e-10]
+        assert np.all(small == 0.0)
+
+    def test_huge_lambda_gives_zero(self, problem):
+        X, y, _ = problem
+        lam = 10.0 * 2.0 * np.max(np.abs(X.T @ y))
+        res = LassoADMM(X, y).solve(lam)
+        np.testing.assert_array_equal(res.beta, np.zeros(X.shape[1]))
+
+    def test_converged_flag_and_residuals(self, problem):
+        X, y, _ = problem
+        res = LassoADMM(X, y, max_iter=5000).solve(4.0)
+        assert res.converged
+        assert res.primal_residual < 1e-2
+        assert res.iterations >= 1
+
+    def test_objective_reported(self, problem):
+        X, y, _ = problem
+        solver = LassoADMM(X, y)
+        res = solver.solve(4.0)
+        assert res.objective == pytest.approx(solver.objective(res.beta, 4.0))
+
+    def test_warm_start_converges_faster(self, problem):
+        X, y, _ = problem
+        solver = LassoADMM(X, y)
+        cold = solver.solve(4.0)
+        warm = solver.solve(4.0, beta0=cold.beta)
+        assert warm.iterations <= cold.iterations
+        np.testing.assert_allclose(warm.beta, cold.beta, atol=1e-3)
+
+    def test_solve_path_decreasing_sparsity(self, problem):
+        X, y, _ = problem
+        lmax = 2.0 * np.max(np.abs(X.T @ y))
+        lams = lmax * np.logspace(0, -3, 8)
+        results = LassoADMM(X, y).solve_path(lams)
+        nnz = [int((r.beta != 0).sum()) for r in results]
+        assert nnz[0] <= 1  # at lambda_max everything is (near) zero
+        assert nnz[-1] >= nnz[0]
+
+    def test_record_history(self, problem):
+        X, y, _ = problem
+        res = LassoADMM(X, y).solve(4.0, record_history=True)
+        assert len(res.history) == res.iterations
+        # Residuals should broadly decrease.
+        assert res.history[-1][0] < res.history[0][0]
+
+    def test_woodbury_path_matches_cholesky(self):
+        """p > n triggers the matrix-inversion-lemma factorization."""
+        rng = np.random.default_rng(3)
+        n, p = 20, 50
+        X = rng.standard_normal((n, p))
+        y = rng.standard_normal(n)
+        lam = 2.0
+        wood = LassoADMM(X, y).solve(lam).beta
+        cd = lasso_cd(X, y, lam, max_iter=5000)
+        np.testing.assert_allclose(wood, cd, atol=2e-3)
+
+    def test_functional_wrapper(self, problem):
+        X, y, _ = problem
+        np.testing.assert_allclose(
+            lasso_admm(X, y, 4.0), LassoADMM(X, y).solve(4.0).beta
+        )
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            LassoADMM(np.ones((5, 2)), np.ones(4))
+
+    def test_one_dim_X(self):
+        with pytest.raises(ValueError, match="2-D"):
+            LassoADMM(np.ones(5), np.ones(5))
+
+    def test_bad_rho(self):
+        with pytest.raises(ValueError, match="rho"):
+            LassoADMM(np.ones((5, 2)), np.ones(5), rho=0.0)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            LassoADMM(np.ones((5, 2)), np.ones(5), alpha=2.5)
+
+    def test_negative_lambda(self):
+        with pytest.raises(ValueError, match="lam"):
+            LassoADMM(np.ones((5, 2)), np.ones(5)).solve(-1.0)
+
+    def test_bad_warm_start_shape(self):
+        solver = LassoADMM(np.ones((5, 2)), np.ones(5))
+        with pytest.raises(ValueError, match="beta0"):
+            solver.solve(1.0, beta0=np.zeros(3))
+
+
+class TestAdaptiveRho:
+    def test_fewer_iterations_same_answer(self, problem):
+        X, y, _ = problem
+        fixed = LassoADMM(X, y, max_iter=5000).solve(8.0)
+        solver = LassoADMM(X, y, max_iter=5000, adapt_rho=True)
+        adaptive = solver.solve(8.0)
+        assert adaptive.iterations < fixed.iterations
+        np.testing.assert_allclose(adaptive.beta, fixed.beta, atol=1e-3)
+
+    def test_refactorization_count_tracked(self, problem):
+        X, y, _ = problem
+        solver = LassoADMM(X, y, adapt_rho=True)
+        assert solver.factorizations == 1  # constructor's initial factor
+        solver.solve(8.0)
+        assert solver.factorizations > 1
+
+    def test_fixed_rho_never_refactors(self, problem):
+        X, y, _ = problem
+        solver = LassoADMM(X, y)
+        solver.solve(4.0)
+        solver.solve(8.0)
+        assert solver.factorizations == 1
+
+    def test_adaptive_woodbury_path(self):
+        rng = np.random.default_rng(9)
+        X = rng.standard_normal((20, 40))
+        y = rng.standard_normal(20)
+        adaptive = LassoADMM(X, y, adapt_rho=True, max_iter=3000).solve(2.0)
+        cd = lasso_cd(X, y, 2.0, max_iter=8000)
+        np.testing.assert_allclose(adaptive.beta, cd, atol=1e-3)
+
+    def test_adapt_param_validation(self, problem):
+        X, y, _ = problem
+        with pytest.raises(ValueError, match="adapt"):
+            LassoADMM(X, y, adapt_tau=1.0)
+        with pytest.raises(ValueError, match="adapt"):
+            LassoADMM(X, y, adapt_mu=0.5)

@@ -1,0 +1,144 @@
+"""Tests for iid and block bootstrap resampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bootstrap import (
+    block_train_eval,
+    bootstrap_train_eval,
+    circular_block_bootstrap,
+    default_block_length,
+    iid_bootstrap,
+)
+
+
+class TestIidBootstrap:
+    @given(n=st.integers(1, 200), seed=st.integers(0, 1000))
+    def test_indices_in_range_and_full_size(self, n, seed):
+        idx = iid_bootstrap(n, np.random.default_rng(seed))
+        assert idx.shape == (n,)
+        assert idx.min() >= 0 and idx.max() < n
+
+    def test_custom_size(self):
+        idx = iid_bootstrap(10, np.random.default_rng(0), size=25)
+        assert idx.shape == (25,)
+
+    def test_deterministic_given_seed(self):
+        a = iid_bootstrap(50, np.random.default_rng(7))
+        b = iid_bootstrap(50, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_resamples_with_replacement(self):
+        idx = iid_bootstrap(100, np.random.default_rng(1))
+        assert len(np.unique(idx)) < 100  # almost surely
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            iid_bootstrap(0, rng)
+        with pytest.raises(ValueError):
+            iid_bootstrap(5, rng, size=0)
+
+
+class TestBootstrapTrainEval:
+    @given(n=st.integers(2, 300), seed=st.integers(0, 500))
+    def test_eval_disjoint_from_training_pool(self, n, seed):
+        train, ev = bootstrap_train_eval(n, np.random.default_rng(seed))
+        assert set(train).isdisjoint(set(ev))
+        assert len(ev) >= 1
+        assert len(train) >= 1
+
+    @given(n=st.integers(10, 300), seed=st.integers(0, 500))
+    def test_split_sizes(self, n, seed):
+        train, ev = bootstrap_train_eval(
+            n, np.random.default_rng(seed), train_frac=0.8
+        )
+        n_train = len(train)
+        assert n_train + len(ev) == n  # train bootstrapped to pool size
+        assert abs(n_train - 0.8 * n) <= 1
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            bootstrap_train_eval(1, rng)
+        with pytest.raises(ValueError):
+            bootstrap_train_eval(10, rng, train_frac=1.0)
+
+
+class TestBlockBootstrap:
+    def test_default_block_length(self):
+        assert default_block_length(1) == 1
+        assert default_block_length(27) == 3
+        assert default_block_length(1000) == 10
+
+    @given(
+        n=st.integers(1, 200),
+        L=st.integers(1, 20),
+        seed=st.integers(0, 500),
+    )
+    def test_indices_valid(self, n, L, seed):
+        idx = circular_block_bootstrap(
+            n, np.random.default_rng(seed), block_length=L
+        )
+        assert idx.shape == (n,)
+        assert idx.min() >= 0 and idx.max() < n
+
+    @given(n=st.integers(5, 200), seed=st.integers(0, 500))
+    def test_blocks_are_contiguous_mod_n(self, n, seed):
+        """Within every block, consecutive indices step by 1 (mod n)."""
+        L = min(5, n)
+        idx = circular_block_bootstrap(
+            n, np.random.default_rng(seed), block_length=L
+        )
+        for start in range(0, len(idx) - L + 1, L):
+            block = idx[start : start + L]
+            steps = np.diff(block) % n
+            assert np.all(steps == 1)
+
+    def test_block_length_capped_at_n(self):
+        idx = circular_block_bootstrap(
+            3, np.random.default_rng(0), block_length=100
+        )
+        assert idx.shape == (3,)
+
+    def test_custom_size_truncates_tail_block(self):
+        idx = circular_block_bootstrap(
+            20, np.random.default_rng(0), block_length=7, size=10
+        )
+        assert idx.shape == (10,)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            circular_block_bootstrap(0, rng)
+        with pytest.raises(ValueError):
+            circular_block_bootstrap(5, rng, block_length=0)
+        with pytest.raises(ValueError):
+            circular_block_bootstrap(5, rng, size=0)
+
+
+class TestBlockTrainEval:
+    @given(n=st.integers(4, 300), seed=st.integers(0, 500))
+    def test_eval_disjoint_and_contiguous_on_ring(self, n, seed):
+        train, ev = block_train_eval(n, np.random.default_rng(seed))
+        assert set(train).isdisjoint(set(ev))
+        # Eval indices form one contiguous arc on the circular index ring:
+        # the complement of a contiguous arc is contiguous, so among the
+        # sorted gaps there is at most one jump > 1.
+        gaps = np.diff(np.sort(ev))
+        assert np.sum(gaps > 1) <= 1
+
+    @given(n=st.integers(10, 300), seed=st.integers(0, 500))
+    def test_train_indices_only_from_pool(self, n, seed):
+        rng = np.random.default_rng(seed)
+        train, ev = block_train_eval(n, rng)
+        assert set(train).isdisjoint(set(ev))
+        assert max(len(train), len(ev)) < n
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            block_train_eval(3, rng)
+        with pytest.raises(ValueError):
+            block_train_eval(20, rng, train_frac=0.0)

@@ -1,0 +1,65 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+        assert "Table II" in out
+        assert "Granger" in out
+
+
+class TestRun:
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "=== table1" in out
+        assert "278528" in out  # the paper's largest core count
+        assert "[paper]" in out
+
+    def test_run_fig4(self, capsys):
+        assert main(["run", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "weak scaling" in out
+        assert "computation" in out
+
+    def test_unknown_name_rejected(self, capsys):
+        with pytest.raises(SystemExit) as e:
+            main(["run", "fig99"])
+        assert e.value.code != 0
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestMachine:
+    def test_default_machine_sheet(self, capsys):
+        assert main(["machine"]) == 0
+        out = capsys.readouterr().out
+        assert "cori-knl" in out
+        assert "30.83" in out  # the paper's gemm rate
+        assert "cores_per_node" in out
+
+    def test_laptop_machine(self, capsys):
+        assert main(["machine", "laptop"]) == 0
+        assert "laptop" in capsys.readouterr().out
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["machine", "cray-1"])
+
+
+class TestExperimentRegistry:
+    def test_registry_matches_modules(self):
+        import importlib
+
+        for name in EXPERIMENTS:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            assert callable(module.run), name

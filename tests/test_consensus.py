@@ -1,0 +1,180 @@
+"""Tests for distributed consensus LASSO-ADMM."""
+
+import numpy as np
+import pytest
+import scipy.sparse
+
+from repro.linalg import LassoADMM, lasso_cd
+from repro.linalg.consensus import consensus_lasso_admm
+from repro.simmpi import CORI_KNL, LAPTOP, run_spmd, SpmdError, TimeCategory
+
+
+@pytest.fixture
+def problem():
+    rng = np.random.default_rng(0)
+    n, p = 120, 10
+    X = rng.standard_normal((n, p))
+    beta = np.zeros(p)
+    beta[[1, 4, 7]] = [2.0, -3.0, 1.5]
+    y = X @ beta + 0.1 * rng.standard_normal(n)
+    return X, y
+
+
+def _run_consensus(X, y, lam, nranks=4, **kwargs):
+    n = X.shape[0]
+
+    def prog(comm):
+        idx = np.array_split(np.arange(n), comm.size)[comm.rank]
+        return comm.clock, consensus_lasso_admm(comm, X[idx], y[idx], lam, **kwargs)
+
+    res = run_spmd(nranks, prog, machine=CORI_KNL)
+    return res
+
+
+class TestConsensusLasso:
+    def test_matches_serial_solution(self, problem):
+        X, y = problem
+        lam = 5.0
+        serial = LassoADMM(X, y, max_iter=2000).solve(lam).beta
+        res = _run_consensus(X, y, lam, max_iter=2000)
+        np.testing.assert_allclose(res.values[0][1].beta, serial, atol=5e-4)
+
+    def test_all_ranks_agree_exactly(self, problem):
+        X, y = problem
+        res = _run_consensus(X, y, 5.0)
+        betas = [v[1].beta for v in res.values]
+        for b in betas[1:]:
+            np.testing.assert_array_equal(b, betas[0])
+
+    def test_lam_zero_gives_ols(self, problem):
+        X, y = problem
+        ols = np.linalg.lstsq(X, y, rcond=None)[0]
+        res = _run_consensus(X, y, 0.0, max_iter=2000)
+        np.testing.assert_allclose(res.values[0][1].beta, ols, atol=1e-3)
+
+    def test_unequal_block_sizes(self, problem):
+        X, y = problem
+        res = _run_consensus(X, y, 5.0, nranks=7)  # 120 not divisible by 7
+        cd = lasso_cd(X, y, 5.0)
+        np.testing.assert_allclose(res.values[0][1].beta, cd, atol=2e-3)
+
+    def test_single_rank_degenerates_to_serial(self, problem):
+        X, y = problem
+        res = _run_consensus(X, y, 5.0, nranks=1, max_iter=2000)
+        cd = lasso_cd(X, y, 5.0)
+        np.testing.assert_allclose(res.values[0][1].beta, cd, atol=1e-3)
+
+    def test_warm_start(self, problem):
+        X, y = problem
+        cold = _run_consensus(X, y, 5.0)
+        beta0 = cold.values[0][1].beta
+        warm = _run_consensus(X, y, 5.0, beta0=beta0)
+        assert warm.values[0][1].iterations <= cold.values[0][1].iterations
+
+    def test_charges_compute_and_communication(self, problem):
+        X, y = problem
+        res = _run_consensus(X, y, 5.0)
+        for clock, _ in res.values:
+            assert clock.breakdown[TimeCategory.COMPUTE] > 0
+            assert clock.breakdown[TimeCategory.COMMUNICATION] > 0
+
+    def test_sparse_input_matches_dense(self, problem):
+        X, y = problem
+        lam = 5.0
+        n = X.shape[0]
+
+        def prog(comm):
+            idx = np.array_split(np.arange(n), comm.size)[comm.rank]
+            sp = scipy.sparse.csr_matrix(X[idx])
+            return consensus_lasso_admm(comm, sp, y[idx], lam)
+
+        res = run_spmd(4, prog, machine=CORI_KNL)
+        dense = _run_consensus(X, y, lam)
+        np.testing.assert_allclose(
+            res.values[0].beta, dense.values[0][1].beta, atol=1e-6
+        )
+
+    def test_block_diagonal_sparse_problem(self):
+        """The UoI_VAR shape: sparse block-diagonal lifted design."""
+        rng = np.random.default_rng(1)
+        from repro.linalg.kron import identity_kron, vec
+
+        m, k, p = 20, 3, 3
+        Xb = rng.standard_normal((m, k))
+        B = rng.standard_normal((k, p)) * (rng.random((k, p)) < 0.5)
+        Y = Xb @ B + 0.05 * rng.standard_normal((m, p))
+        lifted = identity_kron(Xb, p, sparse=True)
+        b = vec(Y)
+        lam = 3.0
+        n = lifted.shape[0]
+
+        def prog(comm):
+            idx = np.array_split(np.arange(n), comm.size)[comm.rank]
+            return consensus_lasso_admm(comm, lifted[idx], b[idx], lam)
+
+        res = run_spmd(3, prog, machine=CORI_KNL)
+        serial = lasso_cd(lifted.toarray(), b, lam)
+        np.testing.assert_allclose(res.values[0].beta, serial, atol=2e-3)
+
+    def test_validation_errors(self, problem):
+        X, y = problem
+
+        def bad_lam(comm):
+            consensus_lasso_admm(comm, X, y, -1.0)
+
+        with pytest.raises(SpmdError, match="lam"):
+            run_spmd(2, bad_lam, machine=LAPTOP)
+
+        def bad_shapes(comm):
+            consensus_lasso_admm(comm, X, y[:-1], 1.0)
+
+        with pytest.raises(SpmdError, match="incompatible"):
+            run_spmd(2, bad_shapes, machine=LAPTOP)
+
+        def bad_rho(comm):
+            consensus_lasso_admm(comm, X, y, 1.0, rho=-1.0)
+
+        with pytest.raises(SpmdError, match="rho"):
+            run_spmd(2, bad_rho, machine=LAPTOP)
+
+
+class TestAdaptiveRhoConsensus:
+    def test_adaptive_matches_fixed_with_fewer_iterations(self, problem):
+        X, y = problem
+        fixed = _run_consensus(X, y, 5.0, max_iter=2000)
+        adaptive = _run_consensus(X, y, 5.0, max_iter=2000, adapt_rho=True)
+        f, a = fixed.values[0][1], adaptive.values[0][1]
+        assert a.iterations < f.iterations
+        np.testing.assert_allclose(a.beta, f.beta, atol=1e-3)
+
+    def test_adaptive_all_ranks_identical(self, problem):
+        X, y = problem
+        res = _run_consensus(X, y, 5.0, adapt_rho=True)
+        ref = res.values[0][1].beta
+        for _, r in res.values[1:]:
+            np.testing.assert_array_equal(r.beta, ref)
+
+    def test_adaptive_sparse_path(self):
+        rng = np.random.default_rng(2)
+        import scipy.sparse as sp
+        X = rng.standard_normal((60, 8))
+        y = rng.standard_normal(60)
+
+        def prog(comm):
+            idx = np.array_split(np.arange(60), comm.size)[comm.rank]
+            return consensus_lasso_admm(
+                comm, sp.csr_matrix(X[idx]), y[idx], 2.0, adapt_rho=True
+            )
+
+        res = run_spmd(3, prog, machine=CORI_KNL)
+        serial = lasso_cd(X, y, 2.0)
+        np.testing.assert_allclose(res.values[0].beta, serial, atol=2e-3)
+
+    def test_adapt_validation(self, problem):
+        X, y = problem
+
+        def prog(comm):
+            consensus_lasso_admm(comm, X, y, 1.0, adapt_tau=1.0)
+
+        with pytest.raises(SpmdError, match="adapt"):
+            run_spmd(2, prog, machine=LAPTOP)

@@ -1,0 +1,95 @@
+"""Tests for K-fold cross-validated LASSO."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.linalg import cv_lasso, kfold_indices
+from repro.datasets import make_sparse_regression
+
+
+class TestKFoldIndices:
+    @given(n=st.integers(4, 200), k=st.integers(2, 8), seed=st.integers(0, 100))
+    @settings(max_examples=40)
+    def test_partition_properties(self, n, k, seed):
+        k = min(k, n)
+        folds = kfold_indices(n, k, np.random.default_rng(seed))
+        assert len(folds) == k
+        all_test = np.concatenate([test for _, test in folds])
+        # Test folds are disjoint and cover [0, n).
+        assert len(all_test) == n
+        assert set(all_test) == set(range(n))
+        for train, test in folds:
+            assert set(train).isdisjoint(set(test))
+            assert len(train) + len(test) == n
+
+    @given(n=st.integers(4, 200), k=st.integers(2, 8))
+    @settings(max_examples=20)
+    def test_fold_sizes_balanced(self, n, k):
+        k = min(k, n)
+        folds = kfold_indices(n, k, np.random.default_rng(0))
+        sizes = [len(test) for _, test in folds]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            kfold_indices(1, 2, rng)
+        with pytest.raises(ValueError):
+            kfold_indices(10, 1, rng)
+        with pytest.raises(ValueError):
+            kfold_indices(10, 11, rng)
+
+
+class TestCvLasso:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        ds = make_sparse_regression(
+            150, 20, n_informative=4, snr=10.0, rng=np.random.default_rng(0)
+        )
+        res = cv_lasso(ds.X, ds.y, n_lambdas=12, rng=np.random.default_rng(1))
+        return ds, res
+
+    def test_selects_interior_lambda(self, fitted):
+        ds, res = fitted
+        # Strong signal: neither the null model (index 0) nor usually
+        # the loosest penalty should win.
+        assert 0 < res.lam_index
+        assert res.lam == res.lambdas[res.lam_index]
+
+    def test_recovers_support(self, fitted):
+        ds, res = fitted
+        found = set(np.flatnonzero(res.beta))
+        assert set(np.flatnonzero(ds.support)) <= found
+
+    def test_cv_curve_shape(self, fitted):
+        _, res = fitted
+        assert res.cv_loss.shape == res.cv_se.shape == (12,)
+        # Null-model end of the path has the worst loss.
+        assert res.cv_loss[0] == pytest.approx(res.cv_loss.max(), rel=0.2)
+        assert np.all(res.cv_se >= 0)
+
+    def test_1se_at_least_as_sparse_as_min(self):
+        ds = make_sparse_regression(
+            120, 30, n_informative=4, rng=np.random.default_rng(3)
+        )
+        res_min = cv_lasso(ds.X, ds.y, rule="min", rng=np.random.default_rng(4))
+        res_1se = cv_lasso(ds.X, ds.y, rule="1se", rng=np.random.default_rng(4))
+        assert (res_1se.beta != 0).sum() <= (res_min.beta != 0).sum()
+        assert res_1se.lam >= res_min.lam
+
+    def test_deterministic_given_rng(self):
+        ds = make_sparse_regression(80, 10, rng=np.random.default_rng(5))
+        a = cv_lasso(ds.X, ds.y, rng=np.random.default_rng(6))
+        b = cv_lasso(ds.X, ds.y, rng=np.random.default_rng(6))
+        np.testing.assert_array_equal(a.beta, b.beta)
+        assert a.lam == b.lam
+
+    def test_validation(self):
+        ds = make_sparse_regression(30, 5, rng=np.random.default_rng(7))
+        with pytest.raises(ValueError, match="rule"):
+            cv_lasso(ds.X, ds.y, rule="magic")
+        with pytest.raises(ValueError, match="2-D"):
+            cv_lasso(ds.y, ds.y)
+        with pytest.raises(ValueError, match="incompatible"):
+            cv_lasso(ds.X, ds.y[:-1])

@@ -1,0 +1,266 @@
+"""Tests for the three data-distribution strategies."""
+
+import numpy as np
+import pytest
+import scipy.sparse
+from hypothesis import given, settings, strategies as st
+
+from repro.distribution import (
+    ConventionalDistributor,
+    DistributedKron,
+    RandomizedDistributor,
+)
+from repro.distribution.kron_dist import lifted_coords, lifted_row_block
+from repro.distribution.randomized import block_bounds
+from repro.linalg.kron import identity_kron, vec
+from repro.pfs import SimH5File
+from repro.simmpi import LAPTOP, run_spmd, SpmdError
+
+
+class TestBlockBounds:
+    @given(n=st.integers(0, 500), size=st.integers(1, 32))
+    def test_partition_covers_exactly(self, n, size):
+        """Bounds tile [0, n) without gaps or overlaps."""
+        cursor = 0
+        for rank in range(size):
+            lo, hi = block_bounds(n, size, rank)
+            assert lo == cursor
+            assert hi >= lo
+            cursor = hi
+        assert cursor == n
+
+    @given(n=st.integers(1, 500), size=st.integers(1, 32))
+    def test_balanced_within_one(self, n, size):
+        sizes = [
+            block_bounds(n, size, r)[1] - block_bounds(n, size, r)[0]
+            for r in range(size)
+        ]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_bounds(-1, 2, 0)
+        with pytest.raises(ValueError):
+            block_bounds(5, 2, 2)
+
+
+def _make_file(rng, n=48, p=5):
+    data = rng.standard_normal((n, p))
+    f = SimH5File("/dist.h5")
+    f.create_dataset("data", data)
+    return f, data
+
+
+class TestRandomizedDistributor:
+    def test_delivers_exact_bootstrap_rows(self):
+        rng = np.random.default_rng(0)
+        f, data = _make_file(rng)
+        boot = rng.integers(0, 48, size=60)
+
+        def prog(comm):
+            d = RandomizedDistributor(comm, f, "data")
+            out = d.sample(boot)
+            d.close()
+            return out
+
+        res = run_spmd(4, prog, machine=LAPTOP)
+        got = np.concatenate(res.values)
+        np.testing.assert_array_equal(got, data[boot])
+
+    def test_multiple_samples_reuse_tier1(self):
+        """The file is read once; every sample() is pure Tier-2."""
+        rng = np.random.default_rng(1)
+        f, data = _make_file(rng)
+        boots = [rng.integers(0, 48, size=48) for _ in range(3)]
+
+        def prog(comm):
+            d = RandomizedDistributor(comm, f, "data")
+            outs = [d.sample(b) for b in boots]
+            d.close()
+            return outs
+
+        res = run_spmd(3, prog, machine=LAPTOP)
+        for i, b in enumerate(boots):
+            got = np.concatenate([v[i] for v in res.values])
+            np.testing.assert_array_equal(got, data[b])
+        assert f.open_count == 1  # single Tier-1 read
+
+    def test_subcomm_striping(self):
+        rng = np.random.default_rng(2)
+        f, data = _make_file(rng)
+        boot = rng.integers(0, 48, size=40)
+
+        def prog(comm):
+            d = RandomizedDistributor(comm, f, "data")
+            sub = comm.split(comm.rank // 2)  # two cells of 2 ranks
+            out = d.sample(boot, subcomm=sub)
+            d.barrier()
+            return comm.rank // 2, sub.rank, out
+
+        res = run_spmd(4, prog, machine=LAPTOP)
+        # Each cell independently reassembles the full bootstrap.
+        for cell in (0, 1):
+            parts = [v[2] for v in res.values if v[0] == cell]
+            np.testing.assert_array_equal(np.concatenate(parts), data[boot])
+
+    def test_owner_of(self):
+        rng = np.random.default_rng(3)
+        f, _ = _make_file(rng, n=10)
+
+        def prog(comm):
+            d = RandomizedDistributor(comm, f, "data")
+            owners = [d.owner_of(r) for r in range(10)]
+            d.close()
+            return owners
+
+        res = run_spmd(3, prog, machine=LAPTOP)
+        # 10 rows over 3 ranks: 4, 3, 3.
+        assert res.values[0] == [0, 0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_out_of_range_rows_rejected(self):
+        rng = np.random.default_rng(4)
+        f, _ = _make_file(rng)
+
+        def prog(comm):
+            d = RandomizedDistributor(comm, f, "data")
+            d.sample(np.array([999]))
+
+        with pytest.raises(SpmdError, match="out-of-range"):
+            run_spmd(2, prog, machine=LAPTOP)
+
+    def test_more_ranks_than_rows_rejected(self):
+        f = SimH5File("/tiny.h5")
+        f.create_dataset("data", np.ones((2, 2)))
+
+        def prog(comm):
+            RandomizedDistributor(comm, f, "data")
+
+        with pytest.raises(SpmdError, match="block-striped"):
+            run_spmd(4, prog, machine=LAPTOP)
+
+
+class TestConventionalDistributor:
+    def test_delivers_exact_bootstrap_rows(self):
+        rng = np.random.default_rng(5)
+        f, data = _make_file(rng)
+        boot = rng.integers(0, 48, size=48)
+
+        def prog(comm):
+            return ConventionalDistributor(comm, f, "data").sample(boot)
+
+        res = run_spmd(4, prog, machine=LAPTOP)
+        np.testing.assert_array_equal(np.concatenate(res.values), data[boot])
+
+    def test_rereads_file_every_sample(self):
+        rng = np.random.default_rng(6)
+        f, data = _make_file(rng)
+        boots = [rng.integers(0, 48, size=48) for _ in range(2)]
+
+        def prog(comm):
+            c = ConventionalDistributor(comm, f, "data", rows_per_chunk=8)
+            return [c.sample(b) for b in boots]
+
+        run_spmd(2, prog, machine=LAPTOP)
+        # Chunked re-reading: many opens (the conventional pathology).
+        assert f.open_count > 2
+
+    def test_validation(self):
+        f = SimH5File("/v.h5")
+        f.create_dataset("data", np.ones((8, 2)))
+
+        def prog(comm):
+            ConventionalDistributor(comm, f, "data", rows_per_chunk=0)
+
+        with pytest.raises(SpmdError, match="rows_per_chunk"):
+            run_spmd(2, prog, machine=LAPTOP)
+
+
+class TestLiftedIndexing:
+    @given(m=st.integers(1, 30), r=st.integers(0, 899))
+    def test_lifted_coords_inverse(self, m, r):
+        i, j = lifted_coords(r, m)
+        assert 0 <= i < m
+        assert r == i + m * j
+
+    @given(m=st.integers(1, 20), p=st.integers(1, 8), size=st.integers(1, 16))
+    @settings(max_examples=40)
+    def test_lifted_row_block_tiles(self, m, p, size):
+        cursor = 0
+        for rank in range(size):
+            lo, hi = lifted_row_block(m, p, size, rank)
+            assert lo == cursor
+            cursor = hi
+        assert cursor == m * p
+
+
+class TestDistributedKron:
+    @pytest.mark.parametrize("n_readers,nranks", [(1, 3), (2, 4), (3, 3)])
+    def test_assembles_exact_lifted_problem(self, n_readers, nranks):
+        rng = np.random.default_rng(7)
+        m, k, p = 12, 3, 4
+        X = rng.standard_normal((m, k))
+        Y = rng.standard_normal((m, p))
+
+        def prog(comm):
+            dk = DistributedKron(
+                comm,
+                X if comm.rank < n_readers else None,
+                Y if comm.rank < n_readers else None,
+                n_readers=n_readers,
+            )
+            A, b, bounds = dk.build_local()
+            dk.close()
+            return A, b, bounds
+
+        res = run_spmd(nranks, prog, machine=LAPTOP)
+        A_full = scipy.sparse.vstack([v[0] for v in res.values]).toarray()
+        b_full = np.concatenate([v[1] for v in res.values])
+        np.testing.assert_allclose(A_full, identity_kron(X, p, sparse=False))
+        np.testing.assert_allclose(b_full, vec(Y))
+
+    def test_local_slices_are_sparse(self):
+        rng = np.random.default_rng(8)
+        X = rng.standard_normal((8, 2))
+        Y = rng.standard_normal((8, 5))
+
+        def prog(comm):
+            dk = DistributedKron(comm, X if comm.rank == 0 else None,
+                                 Y if comm.rank == 0 else None)
+            A, _, _ = dk.build_local()
+            dk.close()
+            return scipy.sparse.issparse(A), A.nnz, A.shape
+
+        res = run_spmd(2, prog, machine=LAPTOP)
+        for is_sp, nnz, shape in res.values:
+            assert is_sp
+            # Each lifted row has exactly k = 2 nonzeros.
+            assert nnz == shape[0] * 2
+
+    def test_nonreader_without_data_is_fine(self):
+        rng = np.random.default_rng(9)
+        X = rng.standard_normal((6, 2))
+        Y = rng.standard_normal((6, 2))
+
+        def prog(comm):
+            dk = DistributedKron(comm, X if comm.rank == 0 else None,
+                                 Y if comm.rank == 0 else None, n_readers=1)
+            A, b, _ = dk.build_local()
+            dk.close()
+            return A.shape
+
+        res = run_spmd(3, prog, machine=LAPTOP)
+        assert sum(s[0] for s in res.values) == 12
+
+    def test_reader_missing_data_raises(self):
+        def prog(comm):
+            DistributedKron(comm, None, None, n_readers=1)
+
+        with pytest.raises(SpmdError, match="reader ranks must provide"):
+            run_spmd(2, prog, machine=LAPTOP)
+
+    def test_bad_n_readers(self):
+        def prog(comm):
+            DistributedKron(comm, np.ones((4, 2)), np.ones((4, 2)), n_readers=5)
+
+        with pytest.raises(SpmdError, match="n_readers"):
+            run_spmd(2, prog, machine=LAPTOP)

@@ -1,0 +1,114 @@
+"""Property-based tests of the distribution strategies.
+
+Hypothesis drives random dataset shapes, rank counts and bootstrap
+index vectors through both distributors and the distributed-Kronecker
+assembly, asserting exact delivery every time.  Runs on small worlds
+(threads), so shapes are kept modest.
+"""
+
+import numpy as np
+import scipy.sparse
+from hypothesis import given, settings, strategies as st
+
+from repro.distribution import (
+    ConventionalDistributor,
+    DistributedKron,
+    RandomizedDistributor,
+)
+from repro.linalg.kron import identity_kron, vec
+from repro.pfs import SimH5File
+from repro.simmpi import LAPTOP, run_spmd
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_rows=st.integers(8, 40),
+    n_cols=st.integers(1, 6),
+    nranks=st.integers(1, 6),
+    boot_size=st.integers(1, 60),
+    seed=st.integers(0, 1000),
+)
+def test_randomized_distributor_delivers_any_subsample(
+    n_rows, n_cols, nranks, boot_size, seed
+):
+    nranks = min(nranks, n_rows)
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n_rows, n_cols))
+    file = SimH5File("/prop.h5")
+    file.create_dataset("d", data)
+    boot = rng.integers(0, n_rows, size=boot_size)
+
+    def prog(comm):
+        d = RandomizedDistributor(comm, file, "d")
+        out = d.sample(boot)
+        d.close()
+        return out
+
+    res = run_spmd(nranks, prog, machine=LAPTOP)
+    got = np.concatenate(res.values) if nranks > 1 else res.values[0]
+    np.testing.assert_array_equal(got, data[boot])
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n_rows=st.integers(8, 30),
+    nranks=st.integers(1, 4),
+    seed=st.integers(0, 1000),
+)
+def test_conventional_distributor_matches_randomized(n_rows, nranks, seed):
+    nranks = min(nranks, n_rows)
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n_rows, 3))
+    file = SimH5File("/prop2.h5")
+    file.create_dataset("d", data)
+    boot = rng.integers(0, n_rows, size=n_rows)
+
+    def prog(comm):
+        r = RandomizedDistributor(comm, file, "d")
+        a = r.sample(boot)
+        r.close()
+        b = ConventionalDistributor(comm, file, "d", rows_per_chunk=5).sample(boot)
+        return a, b
+
+    res = run_spmd(nranks, prog, machine=LAPTOP)
+    for a, b in res.values:
+        np.testing.assert_array_equal(a, b)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    m=st.integers(2, 16),
+    k=st.integers(1, 4),
+    p=st.integers(1, 5),
+    nranks=st.integers(1, 5),
+    n_readers=st.integers(1, 3),
+    seed=st.integers(0, 1000),
+)
+def test_distributed_kron_assembles_any_shape(m, k, p, nranks, n_readers, seed):
+    n_readers = min(n_readers, nranks, m)
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((m, k))
+    Y = rng.standard_normal((m, p))
+
+    def prog(comm):
+        dk = DistributedKron(
+            comm,
+            X if comm.rank < n_readers else None,
+            Y if comm.rank < n_readers else None,
+            n_readers=n_readers,
+        )
+        A, b, bounds = dk.build_local()
+        dk.close()
+        return A, b, bounds
+
+    res = run_spmd(nranks, prog, machine=LAPTOP)
+    A_full = scipy.sparse.vstack([v[0] for v in res.values]).toarray()
+    b_full = np.concatenate([v[1] for v in res.values])
+    np.testing.assert_allclose(A_full, identity_kron(X, p, sparse=False))
+    np.testing.assert_allclose(b_full, vec(Y))
+    # Bounds tile [0, m*p) in rank order.
+    cursor = 0
+    for lo, hi in (v[2] for v in res.values):
+        assert lo == cursor
+        cursor = hi
+    assert cursor == m * p

@@ -1,0 +1,62 @@
+"""Smoke tests: every shipped example runs end to end.
+
+Each example is executed as a subprocess (exactly as a user would run
+it) and checked for a zero exit code plus a marker string in its
+output.  These keep the examples from silently rotting as the library
+evolves.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, args, expected output fragment)
+CASES = [
+    ("quickstart.py", [], "UoI_LASSO vs plain LASSO"),
+    ("scaling_study.py", ["--ranks", "2"], "functional distributed UoI_LASSO"),
+    ("trace_profile.py", ["--ranks", "2"], "timeline:"),
+    ("neuro_connectivity.py", ["--electrodes", "10", "--samples", "400"],
+     "inferred network"),
+]
+
+SLOW_CASES = [
+    ("finance_granger.py", [], "edges:"),
+    ("distributed_grid.py", [], "coef gap vs 1x1"),
+]
+
+
+def _run(script: str, args: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=480,
+    )
+
+
+@pytest.mark.parametrize("script,args,marker", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs(script, args, marker):
+    proc = _run(script, args)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert marker in proc.stdout
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script,args,marker", SLOW_CASES,
+                         ids=[c[0] for c in SLOW_CASES])
+def test_slow_example_runs(script, args, marker):
+    proc = _run(script, args)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert marker in proc.stdout
+
+
+def test_all_examples_are_covered():
+    """Every example script has a smoke test."""
+    shipped = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    tested = {c[0] for c in CASES} | {c[0] for c in SLOW_CASES}
+    assert shipped == tested

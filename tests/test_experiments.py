@@ -1,0 +1,204 @@
+"""Integration tests: every experiment driver reproduces its paper claim.
+
+These run the ``fast`` configurations; the benchmark harness runs the
+full ones.  Marked module-scoped fixtures keep the slow drivers to one
+execution each.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    realdata,
+    statcompare,
+    table1,
+    table2,
+)
+from repro.experiments.base import ExperimentResult
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run every driver once (fast mode)."""
+    return {
+        name: mod.run(fast=True)
+        for name, mod in [
+            ("table1", table1),
+            ("table2", table2),
+            ("fig2", fig2),
+            ("fig3", fig3),
+            ("fig4", fig4),
+            ("fig5", fig5),
+            ("fig6", fig6),
+            ("fig7", fig7),
+            ("fig8", fig8),
+            ("fig9", fig9),
+            ("fig10", fig10),
+            ("realdata", realdata),
+            ("statcompare", statcompare),
+        ]
+    }
+
+
+class TestDriversRender:
+    def test_all_return_experiment_results(self, results):
+        for name, res in results.items():
+            assert isinstance(res, ExperimentResult), name
+            assert res.name == name
+            assert res.report
+            assert res.paper_reference
+            rendered = res.render()
+            assert rendered.startswith(f"=== {name}")
+            assert "[paper]" in rendered
+
+
+class TestTable1(object):
+    def test_core_counts_match_paper(self, results):
+        data = results["table1"].data
+        for gb, (lc, vc) in data["weak"].items():
+            assert lc == data["paper_lasso"][gb]
+            assert vc == data["paper_var"][gb]
+
+
+class TestTable2:
+    def test_randomized_beats_conventional_everywhere(self, results):
+        model = results["table2"].data["model"]
+        for gb, (cr, cd, rr, rd) in model.items():
+            assert rr + rd < cr + cd, f"{gb}GB"
+
+    def test_read_times_within_2x_of_paper(self, results):
+        model = results["table2"].data["model"]
+        paper = results["table2"].data["paper"]
+        for gb in model:
+            assert model[gb][0] == pytest.approx(paper[gb][0], rel=1.0)
+
+    def test_functional_delivery_correct(self, results):
+        func = results["table2"].data["functional"]
+        assert func["randomized_correct"]
+        assert func["conventional_correct"]
+
+
+class TestSingleNodeFigs:
+    def test_fig2_computation_dominates(self, results):
+        assert results["fig2"].data["computation_share"] > 0.85
+
+    def test_fig2_kernels_memory_bound(self, results):
+        assert all(
+            v == "memory-bound" for v in results["fig2"].data["roofline"].values()
+        )
+
+    def test_fig2_functional_compute_dominant(self, results):
+        fb = results["fig2"].data["functional"]
+        total = sum(fb.values())
+        assert fb["computation"] / total > 0.5
+
+    def test_fig7_computation_dominates(self, results):
+        assert results["fig7"].data["computation_share"] > 0.85
+
+    def test_fig7_sparsity_law(self, results):
+        assert results["fig7"].data["sparsity_95"] == pytest.approx(0.9894, abs=1e-3)
+
+
+class TestParallelismFigs:
+    def test_fig3_grid_configs_close(self, results):
+        """Paper: runtimes similar across grid shapes at each size."""
+        totals = results["fig3"].data["model_totals"]
+        for gb, cores in fig3.PAPER_SIZES:
+            vals = [totals[(gb, pb, plam)] for pb, plam in fig3.PAPER_GRIDS]
+            assert max(vals) / min(vals) < 1.25, gb
+
+    def test_fig3_functional_grids_agree(self, results):
+        func = results["fig3"].data["functional"]
+        assert len(func) == 4
+
+    def test_fig8_distribution_monotone_in_plam(self, results):
+        assert results["fig8"].data["monotone_in_plam"]
+
+
+class TestScalingFigs:
+    def test_fig4_crossover_exists(self, results):
+        data = results["fig4"].data
+        assert data["crossover_gb"] in (2048, 4096, 8192)
+
+    def test_fig5_variability_positive(self, results):
+        series = results["fig5"].data["series"]
+        for gb, (tmin, tmax) in series.items():
+            assert tmax > tmin > 0
+
+    def test_fig6_superlinear_at_biggest(self, results):
+        sup = results["fig6"].data["superlinear"]
+        assert sup[139264]
+
+    def test_fig9_crossover_near_2tb(self, results):
+        assert results["fig9"].data["crossover_gb"] in (2048, 4096)
+
+    def test_fig10_distribution_growing(self, results):
+        assert results["fig10"].data["distribution_growing"]
+
+
+class TestRealData:
+    def test_distribution_anchors(self, results):
+        data = results["realdata"].data
+        assert data["finance_model"]["distribution"] == pytest.approx(
+            data["paper_finance"][2], rel=0.1
+        )
+        assert data["neuro_model"]["distribution"] == pytest.approx(
+            data["paper_neuro"][2], rel=0.1
+        )
+
+    def test_neuro_communication_dominates_computation(self, results):
+        """Paper neuro run: 1,598.7 s comm vs 96.9 s compute."""
+        m = results["realdata"].data["neuro_model"]
+        assert m["communication"] > m["computation"]
+
+    def test_functional_fits_sparse(self, results):
+        data = results["realdata"].data
+        assert data["finance_summary"]["density"] < 0.5
+        assert data["neuro_summary"]["density"] < 0.5
+
+
+class TestStatCompare:
+    def test_uoi_beats_lasso_on_false_positives(self, results):
+        s = results["statcompare"].data["summary"]
+        assert s["UoI_LASSO"]["precision"] >= s["LASSO"]["precision"]
+        assert s["UoI_LASSO"]["fp"] <= s["LASSO"]["fp"]
+        assert s["UoI_LASSO"]["fp"] <= s["CV-LASSO"]["fp"]
+
+    def test_uoi_low_bias(self, results):
+        s = results["statcompare"].data["summary"]
+        assert abs(s["UoI_LASSO"]["bias"]) < abs(s["LASSO"]["bias"])
+
+    def test_all_methods_reported(self, results):
+        s = results["statcompare"].data["summary"]
+        assert set(s) == {"UoI_LASSO", "LASSO", "CV-LASSO", "MCP", "SCAD", "Ridge"}
+
+    def test_ridge_never_sparse_lasso_family_recalls(self, results):
+        s = results["statcompare"].data["summary"]
+        assert s["UoI_LASSO"]["recall"] >= 0.8
+
+
+@pytest.mark.slow
+class TestFig11:
+    def test_sparse_graph(self):
+        res = fig11.run(fast=True)
+        summary = res.data["summary"]
+        # Paper: quite sparse — well under 10% of possible edges.
+        assert summary["edges"] < 0.1 * summary["possible_edges"]
+        assert summary["edges"] > 0
+        assert res.data["graph_nodes"] == summary["nodes"]
+
+
+class TestFig8Functional:
+    def test_plam_parallel_distribution_heavier(self, results):
+        fd = results["fig8"].data["functional_distribution"]
+        assert fd["pb"] <= fd["plam"]

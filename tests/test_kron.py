@@ -1,0 +1,137 @@
+"""Tests for the vec / I ⊗ X machinery (eq. 9)."""
+
+import numpy as np
+import pytest
+import scipy.sparse
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.linalg import (
+    IdentityKronOperator,
+    identity_kron,
+    kron_lasso_columnwise,
+    lasso_cd,
+    unvec,
+    vec,
+)
+from repro.linalg.kron import kron_sparsity
+
+matrices = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(1, 6), st.integers(1, 6)),
+    elements=st.floats(-10, 10, allow_nan=False),
+)
+
+
+class TestVec:
+    def test_column_stacking_order(self):
+        Y = np.array([[1.0, 3.0], [2.0, 4.0]])
+        np.testing.assert_array_equal(vec(Y), [1.0, 2.0, 3.0, 4.0])
+
+    @given(Y=matrices)
+    def test_roundtrip(self, Y):
+        np.testing.assert_array_equal(unvec(vec(Y), Y.shape), Y)
+
+    @given(Y=matrices)
+    def test_matches_numpy_fortran_flatten(self, Y):
+        np.testing.assert_array_equal(vec(Y), Y.flatten(order="F"))
+
+    def test_vec_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            vec(np.ones(3))
+
+    def test_unvec_rejects_bad_length(self):
+        with pytest.raises(ValueError, match="length"):
+            unvec(np.ones(5), (2, 3))
+
+
+class TestIdentityKron:
+    def test_matches_numpy_kron_dense(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((3, 2))
+        np.testing.assert_allclose(
+            identity_kron(X, 4, sparse=False), np.kron(np.eye(4), X)
+        )
+
+    def test_sparse_matches_dense(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((3, 2))
+        sp = identity_kron(X, 3, sparse=True)
+        assert scipy.sparse.issparse(sp)
+        np.testing.assert_allclose(sp.toarray(), identity_kron(X, 3, sparse=False))
+
+    def test_sparsity_law(self):
+        """Paper: sparsity of the lifted design is 1 - 1/p."""
+        X = np.ones((4, 3))
+        for p in (2, 5, 95):
+            lifted = identity_kron(X, p, sparse=True)
+            measured = 1.0 - lifted.nnz / (lifted.shape[0] * lifted.shape[1])
+            assert measured == pytest.approx(kron_sparsity(p))
+
+    def test_paper_sparsity_example(self):
+        # "if a data set has 95 features, the resultant matrix ... has a
+        # sparsity of 98.94%"
+        assert kron_sparsity(95) == pytest.approx(0.9894, abs=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="p"):
+            identity_kron(np.ones((2, 2)), 0)
+
+
+class TestIdentityKronOperator:
+    @given(
+        seed=st.integers(0, 1000),
+        m=st.integers(1, 5),
+        k=st.integers(1, 5),
+        p=st.integers(1, 5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matvec_matches_materialized(self, seed, m, k, p):
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((m, k))
+        op = IdentityKronOperator(X, p)
+        v = rng.standard_normal(k * p)
+        np.testing.assert_allclose(op.matvec(v), op.toarray() @ v, atol=1e-10)
+
+    @given(
+        seed=st.integers(0, 1000),
+        m=st.integers(1, 5),
+        k=st.integers(1, 5),
+        p=st.integers(1, 5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_rmatvec_matches_materialized(self, seed, m, k, p):
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((m, k))
+        op = IdentityKronOperator(X, p)
+        w = rng.standard_normal(m * p)
+        np.testing.assert_allclose(op.rmatvec(w), op.toarray().T @ w, atol=1e-10)
+
+    def test_shape(self):
+        op = IdentityKronOperator(np.ones((3, 2)), 5)
+        assert op.shape == (15, 10)
+
+    def test_dim_validation(self):
+        op = IdentityKronOperator(np.ones((3, 2)), 2)
+        with pytest.raises(ValueError, match="matvec"):
+            op.matvec(np.ones(5))
+        with pytest.raises(ValueError, match="rmatvec"):
+            op.rmatvec(np.ones(5))
+
+
+class TestColumnwiseEquivalence:
+    def test_columnwise_equals_lifted_lasso(self):
+        """The block-diagonal LASSO decomposes exactly per column."""
+        rng = np.random.default_rng(5)
+        m, k, p = 30, 4, 3
+        X = rng.standard_normal((m, k))
+        Y = rng.standard_normal((m, p))
+        lam = 2.0
+        by_columns = kron_lasso_columnwise(X, Y, lam, lasso_cd)
+        lifted = identity_kron(X, p, sparse=False)
+        direct = lasso_cd(lifted, vec(Y), lam, max_iter=5000)
+        np.testing.assert_allclose(by_columns, direct, atol=1e-5)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            kron_lasso_columnwise(np.ones((4, 2)), np.ones((5, 2)), 1.0, lasso_cd)

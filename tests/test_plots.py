@@ -1,0 +1,88 @@
+"""Tests for the text-mode breakdown charts."""
+
+import pytest
+
+from repro.perf import BreakdownRow, log_lines, stacked_bars
+from repro.perf.plots import CATEGORY_GLYPHS
+
+
+@pytest.fixture
+def rows():
+    return [
+        BreakdownRow("small", {"computation": 8.0, "communication": 2.0}),
+        BreakdownRow(
+            "large",
+            {"computation": 10.0, "communication": 5.0, "distribution": 5.0},
+        ),
+    ]
+
+
+class TestStackedBars:
+    def test_contains_labels_and_totals(self, rows):
+        out = stacked_bars(rows, title="T")
+        assert out.startswith("T\n")
+        assert "small" in out and "large" in out
+        assert "10s" in out and "20s" in out
+
+    def test_bar_lengths_proportional(self, rows):
+        out = stacked_bars(rows, width=40)
+        small_line = next(l for l in out.splitlines() if l.startswith("small"))
+        large_line = next(l for l in out.splitlines() if l.startswith("large"))
+        small_bar = small_line.split("|")[1].strip()
+        large_bar = large_line.split("|")[1].strip()
+        assert len(large_bar) == 40
+        assert len(small_bar) == pytest.approx(20, abs=1)
+
+    def test_glyph_shares(self, rows):
+        out = stacked_bars([rows[0]], width=50)
+        bar = out.splitlines()[-1].split("|")[1]
+        # 80% compute / 20% comm of a 50-char bar.
+        assert bar.count("C") == pytest.approx(40, abs=1)
+        assert bar.count("M") == pytest.approx(10, abs=1)
+
+    def test_all_categories_have_glyphs(self):
+        assert set(CATEGORY_GLYPHS) == {
+            "computation",
+            "communication",
+            "distribution",
+            "data_io",
+        }
+        assert len(set(CATEGORY_GLYPHS.values())) == 4
+
+    def test_validation(self, rows):
+        with pytest.raises(ValueError):
+            stacked_bars([])
+        with pytest.raises(ValueError):
+            stacked_bars(rows, width=5)
+        with pytest.raises(ValueError):
+            stacked_bars([BreakdownRow("z", {})])
+
+
+class TestLogLines:
+    def test_markers_present_per_category(self, rows):
+        out = log_lines(rows)
+        large_line = next(l for l in out.splitlines() if "large" in l)
+        assert "C" in large_line and "M" in large_line and "D" in large_line
+
+    def test_log_positions_ordered(self):
+        row = BreakdownRow(
+            "r", {"computation": 1000.0, "communication": 10.0, "data_io": 0.1}
+        )
+        out = log_lines([row], width=50)
+        line = next(l for l in out.splitlines() if l.startswith("r |"))
+        bar = line.split("|")[1]
+        assert bar.index("I") < bar.index("M") < bar.index("C")
+
+    def test_zero_categories_skipped(self):
+        row = BreakdownRow("r", {"computation": 5.0})
+        out = log_lines([row])
+        line = next(l for l in out.splitlines() if l.startswith("r |"))
+        assert "M" not in line.split("|")[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_lines([])
+        with pytest.raises(ValueError):
+            log_lines([BreakdownRow("z", {"computation": 0.0})])
+        with pytest.raises(ValueError):
+            log_lines([BreakdownRow("z", {"computation": 1.0})], width=3)

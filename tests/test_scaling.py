@@ -1,0 +1,180 @@
+"""Tests for the analytic paper-scale models: calibration + shape claims."""
+
+import pytest
+
+from repro.perf.scaling import (
+    UoiLassoScalingParams,
+    UoiVarScalingParams,
+    WEAK_SCALING_GB,
+    congestion_factor,
+    kron_distribution_time,
+    lasso_weak_scaling_cores,
+    uoi_lasso_model,
+    uoi_var_model,
+    var_weak_scaling_cores,
+)
+
+
+class TestTable1Rules:
+    def test_lasso_cores_match_paper(self):
+        paper = {128: 4352, 256: 8704, 512: 17408, 1024: 34816,
+                 2048: 69632, 4096: 139264, 8192: 278528}
+        for gb, cores in paper.items():
+            assert lasso_weak_scaling_cores(gb) == cores
+
+    def test_var_cores_match_paper(self):
+        paper = {128: 2176, 256: 4352, 512: 8704, 1024: 17408,
+                 2048: 34816, 4096: 69632, 8192: 139264}
+        for gb, cores in paper.items():
+            assert var_weak_scaling_cores(gb) == cores
+
+
+class TestKronCalibration:
+    def test_finance_anchor(self):
+        """S&P-470: 80 GB lifted, 2,176 cores -> paper measured 16.409 s."""
+        t = kron_distribution_time(80 * 1024**3, 2176)
+        assert t == pytest.approx(16.409, rel=0.05)
+
+    def test_neuro_anchor(self):
+        """Neuro: 1.3 TB lifted, 81,600 cores -> paper measured 3,034.4 s."""
+        t = kron_distribution_time(1.3 * 1024**4, 81600)
+        assert t == pytest.approx(3034.4, rel=0.05)
+
+    def test_grows_with_cores_and_bytes(self):
+        base = kron_distribution_time(10**12, 1000)
+        assert kron_distribution_time(2 * 10**12, 1000) > base
+        assert kron_distribution_time(10**12, 2000) > base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kron_distribution_time(-1, 10)
+        with pytest.raises(ValueError):
+            kron_distribution_time(10, 0)
+        with pytest.raises(ValueError):
+            congestion_factor(0)
+
+
+class TestNeuroCommunicationCalibration:
+    def test_neuro_row_matches_paper_comm_and_dist(self):
+        row = uoi_var_model(
+            UoiVarScalingParams(problem_gb=1331, cores=81600, n_features=192)
+        )
+        # Communication and distribution calibrated on this run.
+        assert row.get("communication") == pytest.approx(1598.72, rel=0.15)
+        assert row.get("distribution") == pytest.approx(3034.4, rel=0.05)
+
+    def test_finance_row_within_bands(self):
+        row = uoi_var_model(
+            UoiVarScalingParams(
+                problem_gb=80, cores=2176, n_features=470,
+                b1=40, b2=5, q=8, sel_iters=15, est_iters=15,
+            )
+        )
+        # Paper: 376.87 / 4.74 / 16.409 s.
+        assert row.get("computation") == pytest.approx(376.87, rel=0.35)
+        assert row.get("distribution") == pytest.approx(16.409, rel=0.05)
+        assert row.get("communication") < 40
+
+
+class TestLassoShapes:
+    def test_weak_scaling_compute_flat(self):
+        comps = [
+            uoi_lasso_model(
+                UoiLassoScalingParams(gb, lasso_weak_scaling_cores(gb))
+            ).get("computation")
+            for gb in WEAK_SCALING_GB
+        ]
+        assert max(comps) / min(comps) < 1.1
+
+    def test_weak_scaling_comm_grows_with_cores(self):
+        comms = [
+            uoi_lasso_model(
+                UoiLassoScalingParams(gb, lasso_weak_scaling_cores(gb))
+            ).get("communication")
+            for gb in WEAK_SCALING_GB
+        ]
+        assert all(a < b for a, b in zip(comms, comms[1:]))
+
+    def test_communication_dominates_largest_sizes(self):
+        """Discussion: 'for large data sets, the runtime ... is
+        determined by communication via MPI_Allreduce'."""
+        row = uoi_lasso_model(UoiLassoScalingParams(8192, 278528))
+        assert row.get("communication") > row.get("computation")
+
+    def test_computation_dominates_single_node(self):
+        """Fig. 2: ~90% computation on one node."""
+        row = uoi_lasso_model(UoiLassoScalingParams(16, 68, b1=5, b2=5, q=8))
+        assert row.get("computation") / row.total > 0.85
+
+    def test_strong_scaling_superlinear_at_extreme(self):
+        """Fig. 6: computation dips below ideal at 139,264 cores."""
+        t0 = uoi_lasso_model(UoiLassoScalingParams(1024, 17408)).get("computation")
+        t1 = uoi_lasso_model(UoiLassoScalingParams(1024, 139264)).get("computation")
+        assert t0 / t1 > 139264 / 17408  # superlinear speedup
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError, match="divisible"):
+            UoiLassoScalingParams(16, 70, pb=4, plam=4)
+        with pytest.raises(ValueError):
+            UoiLassoScalingParams(16, 64, pb=0)
+        with pytest.raises(ValueError):
+            UoiLassoScalingParams(-1, 64)
+        assert UoiLassoScalingParams(16, 64, pb=2, plam=2).admm_cores == 16
+
+
+class TestVarShapes:
+    def test_weak_scaling_compute_flat(self):
+        comps = [
+            uoi_var_model(
+                UoiVarScalingParams(gb, var_weak_scaling_cores(gb), b1=30, b2=20, q=20)
+            ).get("computation")
+            for gb in WEAK_SCALING_GB
+        ]
+        assert max(comps) / min(comps) < 1.1
+
+    def test_distribution_overtakes_compute_at_2tb(self):
+        """Fig. 9 / Discussion: distribution dominates for >= 2TB."""
+        small = uoi_var_model(
+            UoiVarScalingParams(128, 2176, b1=30, b2=20, q=20)
+        )
+        big = uoi_var_model(
+            UoiVarScalingParams(2048, 34816, b1=30, b2=20, q=20)
+        )
+        assert small.get("computation") > small.get("distribution")
+        assert big.get("distribution") > 0.9 * big.get("computation")
+        huge = uoi_var_model(
+            UoiVarScalingParams(8192, 139264, b1=30, b2=20, q=20)
+        )
+        assert huge.get("distribution") > huge.get("computation")
+
+    def test_strong_scaling_compute_ideal(self):
+        t0 = uoi_var_model(UoiVarScalingParams(1024, 4352)).get("computation")
+        t1 = uoi_var_model(UoiVarScalingParams(1024, 34816)).get("computation")
+        assert t0 / t1 == pytest.approx(8.0, rel=0.01)
+
+    def test_strong_scaling_distribution_grows(self):
+        d0 = uoi_var_model(UoiVarScalingParams(1024, 4352)).get("distribution")
+        d1 = uoi_var_model(UoiVarScalingParams(1024, 34816)).get("distribution")
+        assert d1 > d0
+
+    def test_single_node_computation_dominant(self):
+        """Fig. 7: computation is 88% of the single-node runtime."""
+        row = uoi_var_model(UoiVarScalingParams(16, 68, b1=5, b2=5, q=8))
+        assert row.get("computation") / row.total > 0.85
+
+    def test_fig8_distribution_grows_with_plam(self):
+        """'As the P_lambda parallelism increases the Kronecker product
+        and vectorization time increases.'"""
+        dists = [
+            uoi_var_model(
+                UoiVarScalingParams(16, 2176, b1=32, b2=32, q=16, pb=pb, plam=plam)
+            ).get("distribution")
+            for pb, plam in [(8, 2), (4, 4), (2, 8)]
+        ]
+        assert dists[0] < dists[1] < dists[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UoiVarScalingParams(0, 10)
+        with pytest.raises(ValueError):
+            UoiVarScalingParams(16, 10, pb=3, plam=2)

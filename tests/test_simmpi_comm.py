@@ -1,0 +1,289 @@
+"""Tests for the simulated MPI communicator (collectives, p2p, split)."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import (
+    LAPTOP,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    run_spmd,
+    SpmdError,
+    TimeCategory,
+)
+from repro.simmpi.comm import payload_nbytes
+
+
+class TestPayloadNbytes:
+    def test_numpy_array(self):
+        assert payload_nbytes(np.zeros(10)) == 80
+
+    def test_bytes(self):
+        assert payload_nbytes(b"abc") == 3
+
+    def test_scalars(self):
+        assert payload_nbytes(1.5) == 8
+        assert payload_nbytes(7) == 8
+
+    def test_none(self):
+        assert payload_nbytes(None) == 0
+
+    def test_pickled_object(self):
+        assert payload_nbytes({"a": 1}) > 0
+
+    def test_unpicklable_fallback(self):
+        import threading
+
+        assert payload_nbytes(threading.Lock()) == 64
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        def prog(comm):
+            return comm.allreduce(np.full(3, float(comm.rank)))
+
+        res = run_spmd(5, prog)
+        expected = np.full(3, sum(range(5)), dtype=float)
+        for v in res.values:
+            np.testing.assert_array_equal(v, expected)
+
+    def test_allreduce_scalar_ops(self):
+        def prog(comm):
+            return (
+                comm.allreduce(comm.rank + 1, MAX),
+                comm.allreduce(comm.rank + 1, MIN),
+                comm.allreduce(comm.rank + 1, PROD),
+            )
+
+        res = run_spmd(4, prog)
+        assert res.values[0] == (4, 1, 24)
+
+    def test_allreduce_returns_private_copy(self):
+        def prog(comm):
+            out = comm.allreduce(np.ones(2))
+            out += comm.rank  # must not leak across ranks
+            return out
+
+        res = run_spmd(3, prog)
+        np.testing.assert_array_equal(res.values[0], [3.0, 3.0])
+        np.testing.assert_array_equal(res.values[2], [5.0, 5.0])
+
+    def test_bcast(self):
+        def prog(comm):
+            obj = {"data": [1, 2, 3]} if comm.rank == 1 else None
+            return comm.bcast(obj, root=1)
+
+        res = run_spmd(4, prog)
+        assert all(v == {"data": [1, 2, 3]} for v in res.values)
+
+    def test_gather_and_allgather(self):
+        def prog(comm):
+            g = comm.gather(comm.rank * 10, root=2)
+            ag = comm.allgather(comm.rank)
+            return g, ag
+
+        res = run_spmd(4, prog)
+        assert res.values[2][0] == [0, 10, 20, 30]
+        assert all(v[0] is None for i, v in enumerate(res.values) if i != 2)
+        assert all(v[1] == [0, 1, 2, 3] for v in res.values)
+
+    def test_reduce_root_only(self):
+        def prog(comm):
+            return comm.reduce(float(comm.rank), SUM, root=0)
+
+        res = run_spmd(4, prog)
+        assert res.values[0] == 6.0
+        assert all(v is None for v in res.values[1:])
+
+    def test_scatter(self):
+        def prog(comm):
+            vals = [i * i for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(vals, root=0)
+
+        res = run_spmd(4, prog)
+        assert res.values == [0, 1, 4, 9]
+
+    def test_scatter_wrong_count_raises(self):
+        def prog(comm):
+            vals = [1, 2] if comm.rank == 0 else None
+            return comm.scatter(vals, root=0)
+
+        with pytest.raises(SpmdError):
+            run_spmd(3, prog)
+
+    def test_alltoall(self):
+        def prog(comm):
+            return comm.alltoall([comm.rank * 10 + j for j in range(comm.size)])
+
+        res = run_spmd(3, prog)
+        # Rank r receives [contrib[src][r] for src in 0..2].
+        assert res.values[0] == [0, 10, 20]
+        assert res.values[2] == [2, 12, 22]
+
+    def test_barrier_advances_all_clocks_together(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.clock.charge_compute(1.0)  # rank 0 is slow
+            comm.barrier()
+            return comm.clock.now
+
+        res = run_spmd(3, prog)
+        # After the barrier every clock is at (just past) the slowest rank.
+        assert all(t >= 1.0 for t in res.values)
+
+    def test_collective_charges_declared_category(self):
+        def prog(comm):
+            comm.allreduce(np.ones(4), category=TimeCategory.DISTRIBUTION)
+            return comm.clock.snapshot()
+
+        res = run_spmd(2, prog)
+        assert res.values[0]["distribution"] > 0.0
+        assert res.values[0]["communication"] == 0.0
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(4), dest=1, tag=7)
+                return None
+            return comm.recv(source=0, tag=7)
+
+        res = run_spmd(2, prog)
+        np.testing.assert_array_equal(res.values[1], np.arange(4))
+
+    def test_tags_keep_messages_apart(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("tag1", dest=1, tag=1)
+                comm.send("tag2", dest=1, tag=2)
+                return None
+            # Receive in reverse tag order.
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return first, second
+
+        res = run_spmd(2, prog)
+        assert res.values[1] == ("tag1", "tag2")
+
+    def test_message_order_preserved_per_tag(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.send(i, dest=1)
+                return None
+            return [comm.recv(source=0) for _ in range(5)]
+
+        res = run_spmd(2, prog)
+        assert res.values[1] == [0, 1, 2, 3, 4]
+
+    def test_bad_dest_raises(self):
+        def prog(comm):
+            comm.send(1, dest=99)
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog)
+
+
+class TestSplit:
+    def test_split_into_even_odd(self):
+        def prog(comm):
+            sub = comm.split(comm.rank % 2)
+            return sub.rank, sub.size, sub.allreduce(comm.rank, SUM)
+
+        res = run_spmd(6, prog)
+        for world_rank, (r, size, total) in enumerate(res.values):
+            assert size == 3
+            expected = sum(x for x in range(6) if x % 2 == world_rank % 2)
+            assert total == expected
+
+    def test_split_key_reorders(self):
+        def prog(comm):
+            sub = comm.split(0, key=-comm.rank)  # reverse order
+            return sub.rank
+
+        res = run_spmd(4, prog)
+        assert res.values == [3, 2, 1, 0]
+
+    def test_nested_split(self):
+        def prog(comm):
+            half = comm.split(comm.rank // 2)
+            pair = half.split(half.rank)
+            return half.size, pair.size
+
+        res = run_spmd(4, prog)
+        assert all(v == (2, 1) for v in res.values)
+
+
+class TestErrorPropagation:
+    def test_exception_aborts_all_ranks(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise RuntimeError("boom")
+            comm.barrier()  # other ranks would block forever without abort
+            return "done"
+
+        with pytest.raises(SpmdError) as exc_info:
+            run_spmd(3, prog)
+        assert exc_info.value.rank == 1
+        assert "boom" in str(exc_info.value.original)
+
+    def test_mismatched_collective_types_detected_by_combine(self):
+        # Rank 0 calls bcast while rank 1 calls allreduce at the same
+        # sequence point: both meet in the same slot; the payload shape
+        # mismatch surfaces as an error rather than a hang.
+        def prog(comm):
+            if comm.rank == 0:
+                return comm.bcast("x", root=0)
+            return comm.allreduce(np.ones(2))
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog)
+
+
+class TestReduceScatterAndScan:
+    def test_reduce_scatter_blocks(self):
+        def prog(comm):
+            v = np.arange(8, dtype=float) + comm.rank
+            return comm.reduce_scatter(v)
+
+        res = run_spmd(4, prog)
+        # Elementwise sum = arange(8)*4 + 6; rank r gets block r of 2.
+        full = np.arange(8, dtype=float) * 4 + 6
+        for r in range(4):
+            np.testing.assert_array_equal(res.values[r], full[2 * r : 2 * r + 2])
+
+    def test_reduce_scatter_uneven_split(self):
+        def prog(comm):
+            return comm.reduce_scatter(np.ones(5))
+
+        res = run_spmd(3, prog)
+        sizes = [len(v) for v in res.values]
+        assert sizes == [2, 2, 1]
+        assert all(np.all(v == 3.0) for v in res.values)
+
+    def test_scan_inclusive_prefixes(self):
+        def prog(comm):
+            return comm.scan(float(comm.rank + 1))
+
+        res = run_spmd(4, prog)
+        assert res.values == [1.0, 3.0, 6.0, 10.0]
+
+    def test_scan_arrays_with_max(self):
+        def prog(comm):
+            v = np.array([comm.rank, -comm.rank], dtype=float)
+            return comm.scan(v, MAX)
+
+        res = run_spmd(3, prog)
+        np.testing.assert_array_equal(res.values[2], [2.0, 0.0])
+
+    def test_scan_returns_private_copy(self):
+        def prog(comm):
+            out = comm.scan(np.ones(2))
+            out += 100.0
+            return comm.allreduce(np.zeros(2))  # make sure nothing leaked
+
+        res = run_spmd(2, prog)
+        np.testing.assert_array_equal(res.values[0], np.zeros(2))

@@ -1,0 +1,200 @@
+"""Tests for the SPMD executor, clocks, timing models and machine models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simmpi import (
+    CORI_KNL,
+    LAPTOP,
+    MachineModel,
+    RankClock,
+    SpmdError,
+    TimeCategory,
+    run_spmd,
+    timing,
+)
+from repro.simmpi.clock import merge_breakdowns
+
+
+class TestExecutor:
+    def test_returns_rank_ordered_values(self):
+        res = run_spmd(5, lambda comm: comm.rank * 2)
+        assert res.values == [0, 2, 4, 6, 8]
+
+    def test_args_and_kwargs_forwarded(self):
+        res = run_spmd(2, lambda comm, a, b=0: a + b + comm.rank, 10, b=5)
+        assert res.values == [15, 16]
+
+    def test_elapsed_is_max_clock(self):
+        def prog(comm):
+            comm.clock.charge_compute(float(comm.rank))
+
+        res = run_spmd(4, prog)
+        assert res.elapsed == pytest.approx(3.0)
+
+    def test_nranks_validation(self):
+        with pytest.raises(ValueError, match="nranks"):
+            run_spmd(0, lambda comm: None)
+        with pytest.raises(ValueError, match="functional simulator"):
+            run_spmd(100_000, lambda comm: None)
+
+    def test_error_carries_failing_rank(self):
+        def prog(comm):
+            if comm.rank == 2:
+                raise ValueError("specific failure")
+            comm.barrier()
+
+        with pytest.raises(SpmdError) as e:
+            run_spmd(4, prog)
+        assert e.value.rank == 2
+        assert isinstance(e.value.original, ValueError)
+
+    def test_timing_noise_reproducible(self):
+        def prog(comm):
+            comm.allreduce(np.ones(1000))
+            return comm.clock.now
+
+        a = run_spmd(3, prog, machine=CORI_KNL, seed=1, timing_noise=True)
+        b = run_spmd(3, prog, machine=CORI_KNL, seed=1, timing_noise=True)
+        c = run_spmd(3, prog, machine=CORI_KNL, seed=2, timing_noise=True)
+        assert a.values == b.values
+        assert a.values != c.values
+
+    def test_breakdown_reports_all_categories(self):
+        res = run_spmd(2, lambda comm: comm.barrier())
+        bd = res.breakdown()
+        assert set(bd) == {c.value for c in TimeCategory}
+
+
+class TestRankClock:
+    def test_charge_accumulates(self):
+        clock = RankClock()
+        clock.charge(TimeCategory.COMPUTE, 1.5)
+        clock.charge(TimeCategory.COMPUTE, 0.5)
+        clock.charge(TimeCategory.DATA_IO, 1.0)
+        assert clock.now == pytest.approx(3.0)
+        assert clock.breakdown[TimeCategory.COMPUTE] == pytest.approx(2.0)
+        assert clock.total() == pytest.approx(clock.now)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            RankClock().charge(TimeCategory.COMPUTE, -1.0)
+
+    def test_bad_category_rejected(self):
+        with pytest.raises(TypeError, match="TimeCategory"):
+            RankClock().charge("compute", 1.0)
+
+    def test_advance_to_never_goes_backward(self):
+        clock = RankClock()
+        clock.charge_compute(5.0)
+        clock.advance_to(3.0, TimeCategory.COMMUNICATION)
+        assert clock.now == pytest.approx(5.0)
+        clock.advance_to(7.0, TimeCategory.COMMUNICATION)
+        assert clock.now == pytest.approx(7.0)
+        assert clock.breakdown[TimeCategory.COMMUNICATION] == pytest.approx(2.0)
+
+    def test_snapshot_keys(self):
+        snap = RankClock().snapshot()
+        assert set(snap) == {c.value for c in TimeCategory}
+
+    def test_merge_breakdowns_max_and_mean(self):
+        c1, c2 = RankClock(), RankClock()
+        c1.charge_compute(2.0)
+        c2.charge_compute(4.0)
+        assert merge_breakdowns([c1, c2], how="max")["computation"] == 4.0
+        assert merge_breakdowns([c1, c2], how="mean")["computation"] == 3.0
+        with pytest.raises(ValueError, match="how"):
+            merge_breakdowns([c1], how="median")
+        with pytest.raises(ValueError, match="at least one"):
+            merge_breakdowns([])
+
+
+class TestTimingModels:
+    def test_single_rank_collectives_free(self):
+        for fn in (timing.allreduce_time, timing.bcast_time, timing.gather_time,
+                   timing.allgather_time):
+            assert fn(CORI_KNL, 1024, 1) == 0.0
+        assert timing.barrier_time(CORI_KNL, 1) == 0.0
+
+    @given(nbytes=st.integers(0, 10**9), P=st.integers(2, 10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_allreduce_positive_and_monotone_in_bytes(self, nbytes, P):
+        t = timing.allreduce_time(CORI_KNL, nbytes, P)
+        t2 = timing.allreduce_time(CORI_KNL, nbytes + 1024, P)
+        assert t > 0
+        assert t2 >= t
+
+    @given(P=st.integers(2, 2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_latency_grows_logarithmically(self, P):
+        t = timing.allreduce_time(CORI_KNL, 0, P)
+        t2 = timing.allreduce_time(CORI_KNL, 0, 2 * P)
+        assert t2 >= t
+        # Doubling P adds exactly 2 alpha of latency at zero bytes.
+        assert t2 - t == pytest.approx(2 * CORI_KNL.net_latency_s, rel=1e-6)
+
+    def test_p2p_affine_in_bytes(self):
+        a = timing.p2p_time(CORI_KNL, 0)
+        b = timing.p2p_time(CORI_KNL, 8_000_000)
+        assert a == pytest.approx(CORI_KNL.net_latency_s)
+        assert b - a == pytest.approx(8e6 / (CORI_KNL.net_bw_gbs * 1e9))
+
+    def test_rma_contention_scales_transfer(self):
+        base = timing.rma_time(CORI_KNL, 10**6, contention=1)
+        busy = timing.rma_time(CORI_KNL, 10**6, contention=4)
+        transfer = base - CORI_KNL.net_latency_s
+        assert busy == pytest.approx(CORI_KNL.net_latency_s + 4 * transfer)
+
+    def test_allreduce_minmax_brackets_base(self):
+        rng = np.random.default_rng(0)
+        tmin, tmax = timing.allreduce_minmax(CORI_KNL, 321_000, 4352, rng)
+        base = timing.allreduce_time(CORI_KNL, 321_000, 4352)
+        assert tmin <= base <= tmax
+        assert tmax > tmin
+
+    def test_allreduce_minmax_no_noise_machine(self):
+        rng = np.random.default_rng(0)
+        tmin, tmax = timing.allreduce_minmax(LAPTOP, 1000, 8, rng)
+        assert tmin == tmax
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            timing.p2p_time(CORI_KNL, -1)
+        with pytest.raises(ValueError):
+            timing.rma_time(CORI_KNL, 10, contention=0)
+        with pytest.raises(ValueError):
+            timing.allreduce_time(CORI_KNL, 10, 0)
+
+
+class TestMachineModel:
+    def test_nodes_for(self):
+        assert CORI_KNL.nodes_for(68) == 1
+        assert CORI_KNL.nodes_for(69) == 2
+        assert CORI_KNL.nodes_for(139_264) == 2048
+
+    def test_with_override(self):
+        fast = CORI_KNL.with_(gemm_gflops=100.0)
+        assert fast.gemm_gflops == 100.0
+        assert fast.net_bw_gbs == CORI_KNL.net_bw_gbs
+        assert CORI_KNL.gemm_gflops == 30.83  # original untouched
+
+    def test_paper_calibration_rates(self):
+        """The preset carries the paper's measured kernel rates."""
+        assert CORI_KNL.gemm_gflops == 30.83
+        assert CORI_KNL.gemv_gflops == 1.12
+        assert CORI_KNL.trsv_gflops == 0.011
+        assert CORI_KNL.sp_gemm_gflops == 1.08
+        assert CORI_KNL.sp_gemv_gflops == 2.08
+        assert CORI_KNL.cores_per_node == 68
+        assert CORI_KNL.ost_count == 160
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="gemm_gflops"):
+            CORI_KNL.with_(gemm_gflops=0.0)
+        with pytest.raises(ValueError, match="cores_per_node"):
+            CORI_KNL.with_(cores_per_node=0)
+        with pytest.raises(ValueError, match="net_latency_s"):
+            CORI_KNL.with_(net_latency_s=-1.0)
+        with pytest.raises(ValueError, match="cores"):
+            CORI_KNL.nodes_for(0)

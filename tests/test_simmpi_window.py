@@ -1,0 +1,114 @@
+"""Tests for one-sided RMA windows."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import TimeCategory, Window, run_spmd, SpmdError
+
+
+class TestWindowGetPut:
+    def test_get_reads_remote_data(self):
+        def prog(comm):
+            local = np.arange(10, dtype=float) * (comm.rank + 1)
+            win = Window(comm, local)
+            peer = (comm.rank + 1) % comm.size
+            got = win.get(peer, slice(0, 5))
+            win.fence()
+            return got
+
+        res = run_spmd(3, prog)
+        np.testing.assert_array_equal(res.values[0], np.arange(5) * 2.0)
+        np.testing.assert_array_equal(res.values[2], np.arange(5) * 1.0)
+
+    def test_get_returns_private_copy(self):
+        def prog(comm):
+            local = np.zeros(4)
+            win = Window(comm, local)
+            win.fence()
+            got = win.get(0, slice(None))
+            got += 99.0  # must not write through to rank 0's buffer
+            win.fence()
+            return local.copy()
+
+        res = run_spmd(2, prog)
+        np.testing.assert_array_equal(res.values[0], np.zeros(4))
+
+    def test_put_writes_remote(self):
+        def prog(comm):
+            local = np.zeros(comm.size)
+            win = Window(comm, local)
+            win.fence()
+            win.put(0, comm.rank, np.array(float(comm.rank + 1)))
+            win.fence()
+            return local.copy()
+
+        res = run_spmd(4, prog)
+        np.testing.assert_array_equal(res.values[0], [1.0, 2.0, 3.0, 4.0])
+
+    def test_accumulate_sums_contributions(self):
+        def prog(comm):
+            local = np.zeros(2)
+            win = Window(comm, local)
+            win.fence()
+            win.accumulate(0, slice(None), np.ones(2))
+            win.fence()
+            return local.copy()
+
+        res = run_spmd(4, prog)
+        np.testing.assert_array_equal(res.values[0], [4.0, 4.0])
+
+    def test_fancy_index_get(self):
+        def prog(comm):
+            local = np.arange(20, dtype=float).reshape(10, 2) if comm.rank == 0 else None
+            win = Window(comm, local)
+            got = win.get(0, np.array([7, 1, 3]))
+            win.fence()
+            return got
+
+        res = run_spmd(2, prog)
+        expected = np.arange(20, dtype=float).reshape(10, 2)[[7, 1, 3]]
+        np.testing.assert_array_equal(res.values[1], expected)
+
+    def test_rma_charges_distribution_category(self):
+        def prog(comm):
+            local = np.ones(1000) if comm.rank == 0 else None
+            win = Window(comm, local)
+            before = comm.clock.breakdown[TimeCategory.DISTRIBUTION]
+            win.get(0, slice(None))
+            after = comm.clock.breakdown[TimeCategory.DISTRIBUTION]
+            win.fence()
+            return after - before
+
+        res = run_spmd(2, prog)
+        assert all(v > 0 for v in res.values)
+
+    def test_get_from_bufferless_rank_raises(self):
+        def prog(comm):
+            local = np.ones(3) if comm.rank == 0 else None
+            win = Window(comm, local)
+            win.fence()
+            if comm.rank == 0:
+                win.get(1, slice(None))  # rank 1 exposed nothing
+            win.fence()
+
+        with pytest.raises(SpmdError, match="exposed no buffer"):
+            run_spmd(2, prog)
+
+    def test_bad_target_rank_raises(self):
+        def prog(comm):
+            win = Window(comm, np.ones(2))
+            win.fence()
+            win.get(42, slice(None))
+
+        with pytest.raises(SpmdError, match="target_rank"):
+            run_spmd(2, prog)
+
+    def test_free_is_collective_and_idempotent_per_rank(self):
+        def prog(comm):
+            win = Window(comm, np.ones(2))
+            win.fence()
+            win.free()
+            return True
+
+        res = run_spmd(3, prog)
+        assert all(res.values)

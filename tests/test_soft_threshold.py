@@ -1,0 +1,138 @@
+"""Tests for repro.linalg.soft_threshold (prox operators)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.linalg import soft_threshold, mcp_threshold, scad_threshold
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+kappas = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+
+
+class TestSoftThreshold:
+    def test_zero_kappa_is_identity(self):
+        x = np.array([-2.0, -0.5, 0.0, 0.7, 3.0])
+        np.testing.assert_array_equal(soft_threshold(x, 0.0), x)
+
+    def test_known_values(self):
+        np.testing.assert_allclose(
+            soft_threshold(np.array([3.0, -3.0, 0.5, -0.5]), 1.0),
+            [2.0, -2.0, 0.0, 0.0],
+        )
+
+    def test_scalar_input(self):
+        assert soft_threshold(2.5, 1.0) == pytest.approx(1.5)
+
+    def test_negative_kappa_rejected(self):
+        with pytest.raises(ValueError, match="kappa"):
+            soft_threshold(np.ones(3), -0.1)
+
+    @given(x=finite_floats, kappa=kappas)
+    def test_shrinks_toward_zero(self, x, kappa):
+        out = float(soft_threshold(x, kappa))
+        assert abs(out) <= abs(x) + 1e-12
+        # Sign is preserved or output is zero.
+        assert out == 0.0 or np.sign(out) == np.sign(x)
+
+    @given(x=finite_floats, kappa=kappas)
+    def test_exact_shrinkage_amount(self, x, kappa):
+        out = float(soft_threshold(x, kappa))
+        if abs(x) <= kappa:
+            assert out == 0.0
+        else:
+            assert out == pytest.approx(np.sign(x) * (abs(x) - kappa), rel=1e-12)
+
+    @given(x=finite_floats, kappa=kappas)
+    def test_is_prox_of_l1(self, x, kappa):
+        """S_kappa(x) minimizes 0.5 (b - x)^2 + kappa |b| over a grid."""
+        out = float(soft_threshold(x, kappa))
+
+        def obj(b):
+            return 0.5 * (b - x) ** 2 + kappa * abs(b)
+
+        for candidate in (out + 1e-3, out - 1e-3, 0.0, x):
+            assert obj(out) <= obj(candidate) + 1e-6 * max(1.0, abs(x))
+
+    @given(
+        x=st.lists(finite_floats, min_size=1, max_size=20),
+        kappa=kappas,
+    )
+    def test_nonexpansive(self, x, kappa):
+        """The prox is 1-Lipschitz: |S(a)-S(b)| <= |a-b| elementwise."""
+        a = np.array(x)
+        b = a + 0.5
+        assert np.all(
+            np.abs(soft_threshold(a, kappa) - soft_threshold(b, kappa))
+            <= np.abs(a - b) + 1e-12
+        )
+
+
+class TestMcpThreshold:
+    def test_large_values_unbiased(self):
+        # Beyond gamma*lam the MCP applies no shrinkage.
+        x = np.array([10.0, -10.0])
+        np.testing.assert_array_equal(mcp_threshold(x, 1.0, gamma=3.0), x)
+
+    def test_small_values_zeroed(self):
+        assert mcp_threshold(0.5, 1.0, gamma=3.0) == 0.0
+
+    def test_matches_rescaled_soft_in_middle(self):
+        x, lam, gamma = 2.0, 1.0, 3.0
+        expected = (x - lam) / (1 - 1 / gamma)
+        assert mcp_threshold(x, lam, gamma) == pytest.approx(expected)
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError, match="gamma"):
+            mcp_threshold(1.0, 1.0, gamma=1.0)
+
+    def test_lam_validation(self):
+        with pytest.raises(ValueError, match="lam"):
+            mcp_threshold(1.0, -1.0)
+
+    @given(x=finite_floats, lam=st.floats(min_value=0, max_value=100))
+    def test_less_biased_than_soft(self, x, lam):
+        """|MCP(x)| >= |S_lam(x)|: MCP shrinks no more than LASSO."""
+        m = float(mcp_threshold(x, lam, gamma=3.0))
+        s = float(soft_threshold(x, lam))
+        assert abs(m) >= abs(s) - 1e-9
+
+    @given(x=finite_floats)
+    def test_zero_lam_identity(self, x):
+        assert mcp_threshold(x, 0.0) == pytest.approx(x)
+
+
+class TestScadThreshold:
+    def test_large_values_unbiased(self):
+        x = np.array([10.0, -10.0])
+        np.testing.assert_array_equal(scad_threshold(x, 1.0, a=3.7), x)
+
+    def test_small_values_soft(self):
+        # |x| <= 2 lam: plain soft threshold.
+        assert scad_threshold(1.5, 1.0) == pytest.approx(0.5)
+        assert scad_threshold(0.9, 1.0) == 0.0
+
+    def test_a_validation(self):
+        with pytest.raises(ValueError, match="a"):
+            scad_threshold(1.0, 1.0, a=2.0)
+
+    def test_lam_validation(self):
+        with pytest.raises(ValueError, match="lam"):
+            scad_threshold(1.0, -0.5)
+
+    @given(x=finite_floats, lam=st.floats(min_value=0, max_value=100))
+    def test_less_biased_than_soft(self, x, lam):
+        s = float(soft_threshold(x, lam))
+        sc = float(scad_threshold(x, lam))
+        assert abs(sc) >= abs(s) - 1e-9
+
+    @given(x=finite_floats, lam=st.floats(min_value=1e-3, max_value=100))
+    def test_continuity_at_regime_boundaries(self, x, lam):
+        """SCAD is continuous; check near the 2*lam and a*lam knots."""
+        a = 3.7
+        for knot in (2 * lam, a * lam):
+            lo = float(scad_threshold(knot - 1e-9 * lam, lam, a=a))
+            hi = float(scad_threshold(knot + 1e-9 * lam, lam, a=a))
+            assert lo == pytest.approx(hi, abs=1e-5 * lam)

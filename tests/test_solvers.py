@@ -1,0 +1,263 @@
+"""Tests for coordinate descent, OLS, Ridge, MCP/SCAD and the λ grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.linalg import (
+    lambda_grid,
+    lambda_max,
+    lasso_cd,
+    mcp_regression,
+    ols,
+    ols_on_support,
+    ridge,
+    scad_regression,
+)
+
+
+@pytest.fixture
+def problem():
+    rng = np.random.default_rng(1)
+    n, p = 100, 10
+    X = rng.standard_normal((n, p))
+    beta = np.zeros(p)
+    beta[[0, 3, 7]] = [3.0, -2.0, 2.5]
+    y = X @ beta + 0.1 * rng.standard_normal(n)
+    return X, y, beta
+
+
+class TestLambdaGrid:
+    def test_lambda_max_zeroes_lasso(self, problem):
+        X, y, _ = problem
+        lmax = lambda_max(X, y)
+        beta = lasso_cd(X, y, lmax * 1.0001)
+        np.testing.assert_array_equal(beta, np.zeros(X.shape[1]))
+
+    def test_just_below_lambda_max_selects(self, problem):
+        X, y, _ = problem
+        beta = lasso_cd(X, y, lambda_max(X, y) * 0.95)
+        assert (beta != 0).sum() >= 1
+
+    def test_grid_is_decreasing(self, problem):
+        X, y, _ = problem
+        grid = lambda_grid(X, y, num=10)
+        assert len(grid) == 10
+        assert np.all(np.diff(grid) < 0)
+
+    def test_grid_endpoints(self, problem):
+        X, y, _ = problem
+        grid = lambda_grid(X, y, num=5, eps=1e-2)
+        assert grid[0] == pytest.approx(lambda_max(X, y))
+        assert grid[-1] == pytest.approx(lambda_max(X, y) * 1e-2)
+
+    def test_degenerate_data_falls_back(self):
+        X = np.zeros((4, 2))
+        grid = lambda_grid(X, np.zeros(4), num=3)
+        assert len(grid) == 3 and np.all(grid > 0)
+
+    def test_validation(self, problem):
+        X, y, _ = problem
+        with pytest.raises(ValueError, match="num"):
+            lambda_grid(X, y, num=0)
+        with pytest.raises(ValueError, match="eps"):
+            lambda_grid(X, y, eps=2.0)
+        with pytest.raises(ValueError, match="y shape"):
+            lambda_max(X, y[:-1])
+
+
+class TestCoordinateDescent:
+    def test_ols_limit(self, problem):
+        X, y, _ = problem
+        np.testing.assert_allclose(
+            lasso_cd(X, y, 0.0, max_iter=5000),
+            np.linalg.lstsq(X, y, rcond=None)[0],
+            atol=1e-5,
+        )
+
+    def test_kkt_conditions(self, problem):
+        """At the optimum: |2 x_j'(y - Xb)| <= lam, with equality on support."""
+        X, y, _ = problem
+        lam = 5.0
+        beta = lasso_cd(X, y, lam, tol=1e-12)
+        grad = 2.0 * X.T @ (y - X @ beta)
+        on = beta != 0
+        np.testing.assert_allclose(np.abs(grad[on]), lam, rtol=1e-5)
+        assert np.all(np.abs(grad[~on]) <= lam * (1 + 1e-6))
+
+    def test_zero_column_stays_zero(self):
+        rng = np.random.default_rng(2)
+        X = rng.standard_normal((30, 4))
+        X[:, 2] = 0.0
+        y = rng.standard_normal(30)
+        beta = lasso_cd(X, y, 0.5)
+        assert beta[2] == 0.0
+
+    def test_warm_start(self, problem):
+        X, y, _ = problem
+        cold = lasso_cd(X, y, 3.0)
+        warm = lasso_cd(X, y, 3.0, beta0=cold)
+        np.testing.assert_allclose(cold, warm, atol=1e-8)
+
+    def test_validation(self, problem):
+        X, y, _ = problem
+        with pytest.raises(ValueError, match="lam"):
+            lasso_cd(X, y, -1.0)
+        with pytest.raises(ValueError, match="beta0"):
+            lasso_cd(X, y, 1.0, beta0=np.zeros(3))
+
+
+class TestOls:
+    def test_exact_on_square_system(self):
+        rng = np.random.default_rng(3)
+        X = rng.standard_normal((6, 6))
+        beta = rng.standard_normal(6)
+        np.testing.assert_allclose(ols(X, X @ beta), beta, atol=1e-8)
+
+    def test_rank_deficient_does_not_blow_up(self):
+        X = np.ones((10, 3))  # rank 1
+        y = np.ones(10)
+        beta = ols(X, y)
+        np.testing.assert_allclose(X @ beta, y, atol=1e-8)
+
+    def test_on_support_zeros_off_support(self, problem):
+        X, y, _ = problem
+        mask = np.zeros(10, dtype=bool)
+        mask[[0, 3]] = True
+        beta = ols_on_support(X, y, mask)
+        assert np.all(beta[~mask] == 0.0)
+        restricted = ols(X[:, [0, 3]], y)
+        np.testing.assert_allclose(beta[[0, 3]], restricted)
+
+    def test_integer_index_support(self, problem):
+        X, y, _ = problem
+        by_mask = ols_on_support(X, y, np.array([True] + [False] * 9))
+        by_idx = ols_on_support(X, y, np.array([0]))
+        np.testing.assert_allclose(by_mask, by_idx)
+
+    def test_empty_support_gives_zero(self, problem):
+        X, y, _ = problem
+        np.testing.assert_array_equal(
+            ols_on_support(X, y, np.zeros(10, dtype=bool)), np.zeros(10)
+        )
+
+    def test_validation(self, problem):
+        X, y, _ = problem
+        with pytest.raises(ValueError, match="support"):
+            ols_on_support(X, y, np.zeros(4, dtype=bool))
+        with pytest.raises(ValueError, match="out of range"):
+            ols_on_support(X, y, np.array([99]))
+
+
+class TestRidge:
+    def test_shrinks_toward_zero(self, problem):
+        X, y, _ = problem
+        b_small = ridge(X, y, 0.01)
+        b_big = ridge(X, y, 1e6)
+        assert np.linalg.norm(b_big) < np.linalg.norm(b_small)
+
+    def test_matches_normal_equations(self, problem):
+        X, y, _ = problem
+        lam = 3.0
+        expected = np.linalg.solve(X.T @ X + lam * np.eye(10), X.T @ y)
+        np.testing.assert_allclose(ridge(X, y, lam), expected, atol=1e-8)
+
+    def test_never_exactly_sparse(self, problem):
+        X, y, _ = problem
+        assert np.all(ridge(X, y, 10.0) != 0.0)
+
+    def test_validation(self, problem):
+        X, y, _ = problem
+        with pytest.raises(ValueError, match="lam"):
+            ridge(X, y, 0.0)
+
+
+class TestNonconvex:
+    def test_mcp_less_biased_than_lasso(self, problem):
+        X, y, beta = problem
+        lam = 8.0
+        b_lasso = lasso_cd(X, y, lam)
+        b_mcp = mcp_regression(X, y, lam)
+        on = beta != 0
+        lasso_bias = np.mean(np.abs(beta[on]) - np.abs(b_lasso[on]))
+        mcp_bias = np.mean(np.abs(beta[on]) - np.abs(b_mcp[on]))
+        assert mcp_bias < lasso_bias
+
+    def test_scad_recovers_support(self, problem):
+        X, y, beta = problem
+        b = scad_regression(X, y, 8.0)
+        assert set(np.flatnonzero(b)) == set(np.flatnonzero(beta))
+
+    def test_mcp_recovers_support(self, problem):
+        X, y, beta = problem
+        b = mcp_regression(X, y, 8.0)
+        assert set(np.flatnonzero(b)) == set(np.flatnonzero(beta))
+
+    def test_validation(self, problem):
+        X, y, _ = problem
+        with pytest.raises(ValueError, match="lam"):
+            mcp_regression(X, y, -1.0)
+        with pytest.raises(ValueError, match="lam"):
+            scad_regression(X, y, -1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), lam=st.floats(0.1, 50.0))
+def test_cd_never_beats_optimum_found_by_admm(seed, lam):
+    """Both solvers minimize the same objective: their objective values
+    must agree to tolerance on random problems."""
+    from repro.linalg import LassoADMM
+
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((30, 6))
+    y = rng.standard_normal(30)
+    solver = LassoADMM(X, y)
+    obj_admm = solver.objective(solver.solve(lam).beta, lam)
+    obj_cd = solver.objective(lasso_cd(X, y, lam), lam)
+    assert obj_admm == pytest.approx(obj_cd, rel=1e-2, abs=1e-4)
+
+
+class TestCovarianceUpdates:
+    """Gram-cached (glmnet 'covariance updates') coordinate descent."""
+
+    def test_matches_naive_mode(self, problem):
+        X, y, _ = problem
+        from repro.linalg import precompute_gram
+
+        gram, _, col_sq = precompute_gram(X)
+        for lam in (0.0, 2.0, 10.0):
+            naive = lasso_cd(X, y, lam, tol=1e-11)
+            cov = lasso_cd(
+                X, y, lam, tol=1e-11, precomputed=(gram, X.T @ y, col_sq)
+            )
+            np.testing.assert_allclose(naive, cov, atol=1e-8)
+
+    def test_warm_start_supported(self, problem):
+        X, y, _ = problem
+        from repro.linalg import precompute_gram
+
+        gram, _, col_sq = precompute_gram(X)
+        triple = (gram, X.T @ y, col_sq)
+        cold = lasso_cd(X, y, 3.0, precomputed=triple)
+        warm = lasso_cd(X, y, 3.0, beta0=cold, precomputed=triple)
+        np.testing.assert_allclose(cold, warm, atol=1e-8)
+
+    def test_shape_validation(self, problem):
+        X, y, _ = problem
+        from repro.linalg import precompute_gram
+
+        gram, _, col_sq = precompute_gram(X)
+        with pytest.raises(ValueError, match="inconsistent"):
+            lasso_cd(X, y, 1.0, precomputed=(gram[:2], X.T @ y, col_sq))
+
+    def test_precompute_gram_values(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((20, 4))
+        from repro.linalg import precompute_gram
+
+        gram, zeros, col_sq = precompute_gram(X)
+        np.testing.assert_allclose(gram, X.T @ X)
+        np.testing.assert_allclose(col_sq, np.diag(X.T @ X))
+        np.testing.assert_array_equal(zeros, np.zeros(4))
+        with pytest.raises(ValueError, match="2-D"):
+            precompute_gram(np.ones(3))

@@ -1,0 +1,97 @@
+"""Tests for the execution tracer (profiler-style timelines)."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import CORI_KNL, TimeCategory, Tracer, run_spmd
+from repro.simmpi.trace import TraceEvent
+
+
+class TestTracer:
+    def test_record_and_filter(self):
+        t = Tracer()
+        t.record(0, TimeCategory.COMPUTE, 0.0, 1.0)
+        t.record(1, TimeCategory.COMMUNICATION, 0.5, 2.0)
+        t.record(0, TimeCategory.COMPUTE, 1.0, 1.5)
+        assert len(t) == 3
+        assert len(t.events(rank=0)) == 2
+        assert len(t.events(category=TimeCategory.COMMUNICATION)) == 1
+
+    def test_zero_length_events_dropped(self):
+        t = Tracer()
+        t.record(0, TimeCategory.COMPUTE, 1.0, 1.0)
+        assert len(t) == 0
+
+    def test_backwards_interval_rejected(self):
+        with pytest.raises(ValueError, match="before"):
+            Tracer().record(0, TimeCategory.COMPUTE, 2.0, 1.0)
+
+    def test_events_sorted_by_start(self):
+        t = Tracer()
+        t.record(0, TimeCategory.COMPUTE, 5.0, 6.0)
+        t.record(0, TimeCategory.COMPUTE, 1.0, 2.0)
+        starts = [e.start for e in t.events()]
+        assert starts == sorted(starts)
+
+    def test_total_and_span(self):
+        t = Tracer()
+        t.record(2, TimeCategory.DATA_IO, 0.0, 1.0)
+        t.record(2, TimeCategory.DATA_IO, 3.0, 4.5)
+        assert t.total(2, TimeCategory.DATA_IO) == pytest.approx(2.5)
+        assert t.span() == (0.0, 4.5)
+        assert Tracer().span() == (0.0, 0.0)
+
+    def test_duration_property(self):
+        e = TraceEvent(0, TimeCategory.COMPUTE, 1.0, 3.5)
+        assert e.duration == 2.5
+
+    def test_timeline_rendering(self):
+        t = Tracer()
+        t.record(0, TimeCategory.COMPUTE, 0.0, 0.5)
+        t.record(0, TimeCategory.COMMUNICATION, 0.5, 1.0)
+        t.record(1, TimeCategory.DATA_IO, 0.0, 1.0)
+        out = t.timeline(width=20)
+        lines = out.splitlines()
+        assert "rank   0" in lines[1]
+        assert "C" in lines[1] and "M" in lines[1]
+        assert "I" in lines[2]
+
+    def test_timeline_empty(self):
+        assert Tracer().timeline() == "(no events)"
+
+    def test_timeline_width_validation(self):
+        with pytest.raises(ValueError, match="width"):
+            Tracer().timeline(width=2)
+
+
+class TestTracedRuns:
+    def test_trace_totals_match_clock_breakdowns(self):
+        def prog(comm):
+            comm.clock.charge_compute(0.02 * (comm.rank + 1))
+            comm.allreduce(np.ones(50_000))
+            comm.barrier()
+            return comm.clock.snapshot()
+
+        res = run_spmd(3, prog, machine=CORI_KNL, trace=True)
+        assert res.trace is not None
+        for rank, snap in enumerate(res.values):
+            for cat in TimeCategory:
+                assert res.trace.total(rank, cat) == pytest.approx(
+                    snap[cat.value], abs=1e-12
+                )
+
+    def test_untraced_run_has_no_tracer(self):
+        res = run_spmd(2, lambda comm: comm.barrier())
+        assert res.trace is None
+
+    def test_trace_shows_straggler_wait(self):
+        """The fast ranks' barrier wait shows up as communication."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.clock.charge_compute(1.0)
+            comm.barrier()
+
+        res = run_spmd(2, prog, machine=CORI_KNL, trace=True)
+        wait = res.trace.total(1, TimeCategory.COMMUNICATION)
+        assert wait == pytest.approx(1.0, rel=0.01)

@@ -1,0 +1,235 @@
+"""Tests for the VAR substrate: process, lag matrices, Granger extraction."""
+
+import numpy as np
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.var import (
+    VARProcess,
+    build_lag_matrices,
+    companion_matrix,
+    edge_list,
+    granger_adjacency,
+    granger_digraph,
+    is_stable,
+    network_summary,
+    partition_coefficients,
+    spectral_radius,
+    stack_coefficients,
+)
+
+
+class TestCompanion:
+    def test_var1_companion_is_a1(self):
+        A = np.array([[0.5, 0.1], [0.0, 0.3]])
+        np.testing.assert_array_equal(companion_matrix([A]), A)
+
+    def test_var2_block_structure(self):
+        A1 = np.eye(2) * 0.5
+        A2 = np.eye(2) * 0.2
+        comp = companion_matrix([A1, A2])
+        assert comp.shape == (4, 4)
+        np.testing.assert_array_equal(comp[:2, :2], A1)
+        np.testing.assert_array_equal(comp[:2, 2:], A2)
+        np.testing.assert_array_equal(comp[2:, :2], np.eye(2))
+
+    def test_stability_threshold(self):
+        assert is_stable([np.eye(3) * 0.9])
+        assert not is_stable([np.eye(3) * 1.0])
+        assert not is_stable([np.eye(3) * 1.5])
+
+    @given(scale=st.floats(0.05, 0.95))
+    @settings(max_examples=20, deadline=None)
+    def test_spectral_radius_scales_linearly_var1(self, scale):
+        A = np.array([[0.5, 0.2], [0.1, 0.4]])
+        base = spectral_radius([A])
+        assert spectral_radius([A * scale]) == pytest.approx(base * scale, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            companion_matrix([])
+        with pytest.raises(ValueError):
+            companion_matrix([np.eye(2), np.eye(3)])
+
+
+class TestVARProcess:
+    def test_simulate_shape_and_finite(self):
+        proc = VARProcess([np.eye(3) * 0.5])
+        out = proc.simulate(100, np.random.default_rng(0))
+        assert out.shape == (100, 3)
+        assert np.all(np.isfinite(out))
+
+    def test_stable_process_bounded(self):
+        proc = VARProcess([np.eye(2) * 0.8])
+        out = proc.simulate(5000, np.random.default_rng(1))
+        # Stationary variance of AR(0.8) with unit noise is 1/(1-0.64).
+        assert np.abs(out).max() < 20.0
+
+    def test_unstable_process_detected(self):
+        proc = VARProcess([np.eye(2) * 1.05])
+        assert not proc.stable()
+
+    def test_intercept_shifts_mean(self):
+        mu = np.array([4.0, -2.0])
+        proc = VARProcess([np.zeros((2, 2))], intercept=mu)
+        out = proc.simulate(4000, np.random.default_rng(2))
+        np.testing.assert_allclose(out.mean(axis=0), mu, atol=0.1)
+
+    def test_noise_cov_respected(self):
+        cov = np.array([[2.0, 0.5], [0.5, 1.0]])
+        proc = VARProcess([np.zeros((2, 2))], noise_cov=cov)
+        out = proc.simulate(20000, np.random.default_rng(3))
+        np.testing.assert_allclose(np.cov(out.T), cov, atol=0.15)
+
+    def test_burn_in_and_initial(self):
+        proc = VARProcess([np.eye(2) * 0.5])
+        rng = np.random.default_rng(4)
+        a = proc.simulate(10, rng, burn_in=0, initial=np.ones((1, 2)) * 100)
+        # With zero burn-in the huge initial state is visible at t=0.
+        assert np.abs(a[0]).max() > 10
+
+    def test_support(self):
+        A = np.array([[0.5, 0.0], [0.3, 0.0]])
+        proc = VARProcess([A])
+        np.testing.assert_array_equal(proc.support()[0], A != 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VARProcess([])
+        with pytest.raises(ValueError):
+            VARProcess([np.eye(2)], intercept=np.ones(3))
+        with pytest.raises(ValueError):
+            VARProcess([np.eye(2)], noise_cov=np.eye(3))
+        with pytest.raises(ValueError):
+            VARProcess([np.eye(2)]).simulate(0, np.random.default_rng(0))
+
+
+class TestLagMatrices:
+    def test_shapes(self):
+        series = np.arange(30.0).reshape(10, 3)
+        Y, X = build_lag_matrices(series, 2)
+        assert Y.shape == (8, 3)
+        assert X.shape == (8, 6)
+
+    def test_descending_time_order(self):
+        """Row 0 of Y is X_N; its regressors are X_{N-1}, ..., X_{N-d}."""
+        series = np.arange(20.0).reshape(10, 2)
+        Y, X = build_lag_matrices(series, 2)
+        np.testing.assert_array_equal(Y[0], series[9])
+        np.testing.assert_array_equal(X[0], np.concatenate([series[8], series[7]]))
+        np.testing.assert_array_equal(Y[-1], series[2])
+        np.testing.assert_array_equal(X[-1], np.concatenate([series[1], series[0]]))
+
+    def test_exact_relation_for_noiseless_var(self):
+        """Y = X B with B = stack(A_1..A_d) for deterministic dynamics."""
+        rng = np.random.default_rng(0)
+        p, d = 3, 2
+        A1 = rng.uniform(-0.3, 0.3, (p, p))
+        A2 = rng.uniform(-0.2, 0.2, (p, p))
+        proc = VARProcess([A1, A2], noise_cov=1e-24 * np.eye(p))
+        series = proc.simulate(50, rng, burn_in=10)
+        Y, X = build_lag_matrices(series, d)
+        B = stack_coefficients([A1, A2])
+        np.testing.assert_allclose(Y, X @ B, atol=1e-8)
+
+    def test_intercept_column(self):
+        series = np.ones((6, 2))
+        Y, X = build_lag_matrices(series, 1, add_intercept=True)
+        np.testing.assert_array_equal(X[:, 0], np.ones(5))
+        assert X.shape == (5, 3)
+
+    @given(
+        seed=st.integers(0, 100),
+        p=st.integers(1, 4),
+        d=st.integers(1, 3),
+        has_mu=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_stack_partition_roundtrip(self, seed, p, d, has_mu):
+        rng = np.random.default_rng(seed)
+        coefs = [rng.standard_normal((p, p)) for _ in range(d)]
+        mu = rng.standard_normal(p) if has_mu else None
+        B = stack_coefficients(coefs, mu)
+        got_coefs, got_mu = partition_coefficients(B, p, d, has_intercept=has_mu)
+        for a, b in zip(coefs, got_coefs):
+            np.testing.assert_allclose(a, b)
+        if has_mu:
+            np.testing.assert_allclose(mu, got_mu)
+        # vec roundtrip too
+        got2, _ = partition_coefficients(
+            B.reshape(-1, order="F"), p, d, has_intercept=has_mu
+        )
+        for a, b in zip(coefs, got2):
+            np.testing.assert_allclose(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_lag_matrices(np.ones(5), 1)
+        with pytest.raises(ValueError):
+            build_lag_matrices(np.ones((5, 2)), 0)
+        with pytest.raises(ValueError):
+            build_lag_matrices(np.ones((3, 2)), 3)
+        with pytest.raises(ValueError):
+            partition_coefficients(np.ones(5), 2, 1)
+
+
+class TestGranger:
+    def test_adjacency_max_over_lags(self):
+        A1 = np.array([[0.0, 0.2], [0.0, 0.0]])
+        A2 = np.array([[0.0, -0.5], [0.1, 0.0]])
+        W = granger_adjacency([A1, A2])
+        assert W[0, 1] == pytest.approx(0.5)
+        assert W[1, 0] == pytest.approx(0.1)
+
+    def test_digraph_edge_direction(self):
+        """A[i, j] != 0 means j -> i."""
+        A = np.zeros((3, 3))
+        A[2, 0] = 0.7  # node 0 causes node 2
+        g = granger_digraph([A], labels=["a", "b", "c"])
+        assert g.has_edge("a", "c")
+        assert not g.has_edge("c", "a")
+        assert g["a"]["c"]["weight"] == pytest.approx(0.7)
+
+    def test_self_loops_dropped_by_default(self):
+        A = np.eye(2) * 0.5
+        g = granger_digraph([A])
+        assert g.number_of_edges() == 0
+        g2 = granger_digraph([A], include_self_loops=True)
+        assert g2.number_of_edges() == 2
+
+    def test_tolerance_filters_small_weights(self):
+        A = np.array([[0.0, 1e-6], [0.5, 0.0]])
+        g = granger_digraph([A], tol=1e-3)
+        assert g.number_of_edges() == 1
+
+    def test_edge_list_sorted_by_weight(self):
+        A = np.array([[0.0, 0.2, 0.9], [0.0, 0.0, 0.0], [0.4, 0.0, 0.0]])
+        edges = edge_list([A])
+        weights = [w for _, _, w in edges]
+        assert weights == sorted(weights, reverse=True)
+        assert edges[0][2] == pytest.approx(0.9)
+
+    def test_network_summary_counts(self):
+        A = np.array([[0.5, 0.3], [0.0, 0.5]])
+        s = network_summary([A])
+        assert s == {
+            "nodes": 2,
+            "possible_edges": 4,
+            "edges": 1,
+            "self_loops": 2,
+            "density": 0.5,
+            "max_in_degree": 1,
+            "max_out_degree": 1,
+        }
+
+    def test_digraph_is_networkx(self):
+        g = granger_digraph([np.zeros((2, 2))])
+        assert isinstance(g, nx.DiGraph)
+        assert g.number_of_nodes() == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            granger_adjacency([])
+        with pytest.raises(ValueError):
+            granger_digraph([np.zeros((2, 2))], labels=["only-one"])
