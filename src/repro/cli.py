@@ -4,10 +4,18 @@ Subcommands
 -----------
 ``list``
     Show every experiment driver with its paper artifact.
-``run <name>|all [--full]``
+``run <name>|all [--full] [--checkpoint-dir D] [--resume]``
     Run one experiment driver (or all of them) and print the rendered
     paper-style report.  ``--full`` uses the paper's full
     configurations where the driver distinguishes (slower).
+    ``--checkpoint-dir`` / ``--resume`` are forwarded to drivers that
+    support checkpoint/restart (currently ``resilience``): the first
+    persists the checkpoint store, the second fast-forwards through
+    recovered subproblems instead of recomputing them.
+``faults [--nranks N] [--crash-rank R] [--at-frac F] [--cadence C]``
+    Fault-injection demo: run the resilience driver, kill one rank at
+    a fraction of the clean run's modeled time, restart from
+    checkpoint, and report recovered-vs-lost virtual time.
 ``machine [name]``
     Print a machine-model calibration sheet (default: cori-knl).
 """
@@ -17,8 +25,9 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import importlib
+import inspect
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.simmpi.machine import CORI_KNL, LAPTOP
 
@@ -40,6 +49,7 @@ EXPERIMENTS = {
     "fig11": "Fig. 11 — S&P-50 Granger causal graph",
     "realdata": "§VI — real-data runtime analyses",
     "statcompare": "UoI vs LASSO/CV/MCP/SCAD/Ridge quality",
+    "resilience": "fault injection + checkpoint/restart recovery",
 }
 
 _MACHINES = {"cori-knl": CORI_KNL, "laptop": LAPTOP}
@@ -65,6 +75,45 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the paper's full configuration where applicable (slower)",
     )
+    run.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="persist checkpoints here (drivers that support restart)",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint-dir instead of starting fresh",
+    )
+
+    faults = sub.add_parser(
+        "faults", help="fault-injection + checkpoint/restart demo"
+    )
+    faults.add_argument(
+        "--nranks", type=int, default=4, help="simulated world size"
+    )
+    faults.add_argument(
+        "--crash-rank", type=int, default=1, help="rank killed by the fault plan"
+    )
+    faults.add_argument(
+        "--at-frac",
+        type=float,
+        default=0.5,
+        help="kill time as a fraction of the clean run's modeled time",
+    )
+    faults.add_argument(
+        "--cadence",
+        type=int,
+        default=1,
+        help="checkpoint every N completed subproblems (0 disables writes)",
+    )
+    faults.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="persist the checkpoint store (temporary otherwise)",
+    )
 
     mach = sub.add_parser("machine", help="print a machine-model calibration sheet")
     mach.add_argument(
@@ -80,14 +129,36 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(name: str, full: bool) -> int:
+def _cmd_run(name: str, full: bool, extra: dict[str, Any] | None = None) -> int:
     names = list(EXPERIMENTS) if name == "all" else [name]
     for n in names:
         module = importlib.import_module(f"repro.experiments.{n}")
-        result = module.run(fast=not full)
+        kwargs: dict[str, Any] = {"fast": not full}
+        if extra:
+            # Forward only the options this driver understands, so
+            # e.g. --checkpoint-dir reaches `resilience` without every
+            # paper driver having to grow the parameter.
+            accepted = inspect.signature(module.run).parameters
+            kwargs.update({k: v for k, v in extra.items() if k in accepted})
+        result = module.run(**kwargs)
         print(result.render())
         print()
     return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.experiments.resilience import run as run_resilience
+
+    result = run_resilience(
+        fast=True,
+        checkpoint_dir=args.checkpoint_dir,
+        nranks=args.nranks,
+        crash_rank=args.crash_rank,
+        at_frac=args.at_frac,
+        cadence=args.cadence,
+    )
+    print(result.render())
+    return 0 if result.data["bitwise_identical"] else 1
 
 
 def _cmd_machine(name: str) -> int:
@@ -104,7 +175,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.name, args.full)
+        return _cmd_run(
+            args.name,
+            args.full,
+            {"checkpoint_dir": args.checkpoint_dir, "resume": args.resume},
+        )
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "machine":
         return _cmd_machine(args.name)
     raise AssertionError(f"unhandled command {args.command!r}")

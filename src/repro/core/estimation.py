@@ -18,6 +18,7 @@ from repro.linalg.ols import ols_on_support
 __all__ = [
     "prediction_loss",
     "fit_support_ols",
+    "merge_loss_tables",
     "best_support_per_bootstrap",
     "union_average",
 ]
@@ -49,6 +50,26 @@ def fit_support_ols(
     for j in range(q):
         out[j] = ols_on_support(X_train, y_train, family[j])
     return out
+
+
+def merge_loss_tables(*tables: np.ndarray) -> np.ndarray:
+    """Element-wise MIN merge of partial ``(B2, q)`` loss tables.
+
+    Each table holds a rank's (or a recovered checkpoint's) held-out
+    losses with ``inf`` in the cells it did not evaluate — ``inf`` is
+    the neutral element, so merging is exactly the MIN-Allreduce the
+    distributed estimation step performs, usable host-side when
+    assembling a table from checkpoints
+    (:func:`repro.resilience.recovery.recovered_loss_table`).
+    """
+    if not tables:
+        raise ValueError("need at least one loss table")
+    arrays = [np.asarray(t, dtype=float) for t in tables]
+    shape = arrays[0].shape
+    for t in arrays[1:]:
+        if t.shape != shape:
+            raise ValueError(f"shape mismatch: {t.shape} vs {shape}")
+    return np.minimum.reduce(arrays)
 
 
 def best_support_per_bootstrap(losses: np.ndarray, *, rule: str = "min") -> np.ndarray:

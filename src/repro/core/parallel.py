@@ -42,10 +42,12 @@ from repro.core.bootstrap import (
 )
 from repro.core.config import UoILassoConfig, UoIVarConfig
 from repro.core.estimation import best_support_per_bootstrap
+from repro.core.selection import family_from_counts
 from repro.distribution.kron_dist import DistributedKron
 from repro.distribution.randomized import RandomizedDistributor
 from repro.linalg.consensus import consensus_lasso_admm
 from repro.pfs.hdf5 import SimH5File
+from repro.resilience.checkpoint import CheckpointPlan, CheckpointSession
 from repro.simmpi.clock import TimeCategory
 from repro.simmpi.comm import SimComm
 from repro.simmpi.reduce_ops import MIN, SUM
@@ -136,6 +138,10 @@ class DistributedUoIResult:
         Winning support index per estimation bootstrap.
     lambdas:
         The λ grid.
+    recovered_subproblems / completed_subproblems:
+        World totals of (bootstrap, λ) subproblems served from a
+        checkpoint store versus computed by this run (both 0 when the
+        driver ran without ``checkpoint=``).
     """
 
     coef: np.ndarray
@@ -143,6 +149,27 @@ class DistributedUoIResult:
     losses: np.ndarray
     winners: np.ndarray
     lambdas: np.ndarray
+    recovered_subproblems: int = 0
+    completed_subproblems: int = 0
+
+
+def _reduce_progress(
+    comm: SimComm, grid: ProcessGrid, ckpt: CheckpointSession
+) -> tuple[int, int]:
+    """World totals of (recovered, computed) subproblems.
+
+    Only each cell's rank 0 contributes (every cell rank tracks the
+    same subproblems), and the collectives are posted only when
+    checkpointing is active, so runs without ``checkpoint=`` keep
+    their exact modeled-time profile.
+    """
+    if not ckpt.active:
+        return 0, 0
+    rec = ckpt.recovered if grid.cell.rank == 0 else 0
+    comp = ckpt.completed if grid.cell.rank == 0 else 0
+    recovered = int(comm.allreduce(rec, SUM))
+    completed = int(comm.allreduce(comp, SUM))
+    return recovered, completed
 
 
 def _lambda_grid_from_corr(corr_max: float, num: int, eps: float) -> np.ndarray:
@@ -175,6 +202,7 @@ def distributed_uoi_lasso(
     *,
     pb: int = 1,
     plam: int = 1,
+    checkpoint: CheckpointPlan | None = None,
 ) -> DistributedUoIResult:
     """Run distributed UoI_LASSO on an ``(n, 1 + p)`` dataset.
 
@@ -183,6 +211,16 @@ def distributed_uoi_lasso(
     call is collective over ``comm``; all ranks return the same
     result.  ``fit_intercept`` is not supported here — center the data
     when writing the file (the paper's synthetic data are centered).
+
+    With ``checkpoint=`` a :class:`~repro.resilience.checkpoint.\
+CheckpointPlan`, each cell's rank 0 persists its completed
+    (bootstrap, λ) subproblems — the solved coefficient vector in
+    selection (the support *and* the λ-path warm start derive from
+    it), the refit and its held-out loss in estimation — and a
+    restarted run against the same store skips recovered subproblems,
+    producing bitwise the result of an uninterrupted run.  Resuming
+    requires the same config and grid shape (enforced via the store's
+    pinned metadata).
     """
     if config.fit_intercept:
         raise ValueError(
@@ -206,6 +244,26 @@ def distributed_uoi_lasso(
 
     selection_idx, estimation_idx = _draw_lasso_bootstraps(n, config)
 
+    ckpt = CheckpointSession(
+        checkpoint,
+        clock=comm.clock,
+        machine=comm.machine,
+        writer=grid.cell.rank == 0,
+    )
+    ckpt.ensure_meta({
+        "kind": "uoi_lasso",
+        "dataset": dataset,
+        "n": n,
+        "p": p,
+        "q": q,
+        "B1": B1,
+        "B2": B2,
+        "random_state": config.random_state,
+        "intersection_frac": config.intersection_frac,
+        "pb": pb,
+        "plam": plam,
+    })
+
     # ------------------------- model selection -------------------------
     # Per-λ selection *counts* (how many bootstraps kept each feature):
     # SUM-reduced across the grid, then thresholded — which implements
@@ -216,30 +274,40 @@ def distributed_uoi_lasso(
     for k in range(B1):
         if not grid.owns_bootstrap(k):
             continue
-        rows = dist.sample(selection_idx[k], subcomm=grid.cell)
-        Xb, yb = rows[:, 1:], rows[:, 0]
+        owned = [j for j in range(q) if grid.owns_lambda(j)]
+        cached = {}
+        for j in owned:
+            rec = ckpt.lookup(f"sel/k{k}/j{j}")
+            if rec is not None:
+                cached[j] = rec["beta"]
+        if len(cached) < len(owned):
+            # At least one subproblem to solve: pay the Tier-2 shuffle.
+            rows = dist.sample(selection_idx[k], subcomm=grid.cell)
+            Xb, yb = rows[:, 1:], rows[:, 0]
         beta = None
-        for j in range(q):
-            if not grid.owns_lambda(j):
-                continue
-            res = consensus_lasso_admm(
-                grid.cell,
-                Xb,
-                yb,
-                float(lambdas[j]),
-                rho=config.rho,
-                max_iter=config.max_iter,
-                abstol=config.abstol,
-                reltol=config.reltol,
-                adapt_rho=config.adapt_rho,
-                beta0=beta,
-            )
-            beta = res.beta
+        for j in owned:
+            if j in cached:
+                beta = cached[j]
+            else:
+                res = consensus_lasso_admm(
+                    grid.cell,
+                    Xb,
+                    yb,
+                    float(lambdas[j]),
+                    rho=config.rho,
+                    max_iter=config.max_iter,
+                    abstol=config.abstol,
+                    reltol=config.reltol,
+                    adapt_rho=config.adapt_rho,
+                    beta0=beta,
+                )
+                beta = res.beta
+                ckpt.record(f"sel/k{k}/j{j}", {"beta": beta})
             if grid.cell.rank == 0:
                 counts[j] += beta != 0.0
+    ckpt.flush()
     counts = comm.allreduce(counts, SUM)
-    threshold = int(np.ceil(config.intersection_frac * B1))
-    family = counts >= threshold
+    family = family_from_counts(counts, B1, frac=config.intersection_frac)
 
     # ------------------------- model estimation -------------------------
     losses = np.full((B2, q), np.inf)
@@ -247,13 +315,23 @@ def distributed_uoi_lasso(
     for k in range(B2):
         if not grid.owns_bootstrap(k):
             continue
+        owned = [j for j in range(q) if grid.owns_lambda(j)]
+        cached = {}
+        for j in owned:
+            rec = ckpt.lookup(f"est/k{k}/j{j}")
+            if rec is not None:
+                cached[j] = (rec["beta"], float(rec["loss"]))
         train_idx, eval_idx = estimation_idx[k]
-        train = dist.sample(train_idx, subcomm=grid.cell)
-        evaldata = dist.sample(eval_idx, subcomm=grid.cell)
-        X_tr, y_tr = train[:, 1:], train[:, 0]
-        X_ev, y_ev = evaldata[:, 1:], evaldata[:, 0]
-        for j in range(q):
-            if not grid.owns_lambda(j):
+        if len(cached) < len(owned):
+            train = dist.sample(train_idx, subcomm=grid.cell)
+            evaldata = dist.sample(eval_idx, subcomm=grid.cell)
+            X_tr, y_tr = train[:, 1:], train[:, 0]
+            X_ev, y_ev = evaldata[:, 1:], evaldata[:, 0]
+        for j in owned:
+            if j in cached:
+                beta_full, loss = cached[j]
+                losses[k, j] = loss
+                kept[(k, j)] = beta_full
                 continue
             cols = np.flatnonzero(family[j])
             beta_full = np.zeros(p)
@@ -274,6 +352,8 @@ def distributed_uoi_lasso(
             sse_total = grid.cell.allreduce(float(resid @ resid), SUM)
             losses[k, j] = sse_total / max(len(eval_idx), 1)
             kept[(k, j)] = beta_full
+            ckpt.record(f"est/k{k}/j{j}", {"beta": beta_full, "loss": losses[k, j]})
+    ckpt.flush()
     losses = comm.allreduce(losses, MIN)
     winners = best_support_per_bootstrap(losses, rule=config.selection_rule)
 
@@ -285,9 +365,13 @@ def distributed_uoi_lasso(
             contrib += kept[(k, j)]
     coef = comm.allreduce(contrib, SUM) / B2
 
+    recovered, completed = _reduce_progress(comm, grid, ckpt)
+
     dist.close()
     return DistributedUoIResult(
-        coef=coef, supports=family, losses=losses, winners=winners, lambdas=lambdas
+        coef=coef, supports=family, losses=losses, winners=winners,
+        lambdas=lambdas,
+        recovered_subproblems=recovered, completed_subproblems=completed,
     )
 
 
@@ -299,6 +383,7 @@ def distributed_uoi_var(
     n_readers: int = 1,
     pb: int = 1,
     plam: int = 1,
+    checkpoint: CheckpointPlan | None = None,
 ) -> DistributedUoIResult:
     """Run distributed UoI_VAR (Algorithm 2) over ``comm``.
 
@@ -317,6 +402,12 @@ def distributed_uoi_var(
     act as its Kronecker readers, and the intersection/winner/union
     reductions run world-wide exactly as in
     :func:`distributed_uoi_lasso`.
+
+    ``checkpoint=`` persists completed lifted (bootstrap, λ)
+    subproblems under ``var-sel/`` / ``var-est/`` keys with the same
+    skip-on-resume semantics as :func:`distributed_uoi_lasso` —
+    including skipping the distributed-Kronecker assembly of a
+    bootstrap whose owned subproblems are all recovered.
     """
     lcfg = config.lasso
     grid = ProcessGrid.build(comm, pb, plam)
@@ -363,6 +454,28 @@ def distributed_uoi_var(
     solver_comm = grid.cell if gridded else comm
     kron_readers = cell_readers if gridded else n_readers
 
+    ckpt = CheckpointSession(
+        checkpoint,
+        clock=comm.clock,
+        machine=comm.machine,
+        writer=grid.cell.rank == 0,
+    )
+    ckpt.ensure_meta({
+        "kind": "uoi_var",
+        "m": m,
+        "p": p,
+        "kdim": kdim,
+        "order": config.order,
+        "block_length": config.block_length,
+        "q": q,
+        "B1": B1,
+        "B2": B2,
+        "random_state": lcfg.random_state,
+        "intersection_frac": lcfg.intersection_frac,
+        "pb": pb,
+        "plam": plam,
+    })
+
     def lifted_local(idx: np.ndarray):
         """Distributed-Kronecker assembly of the lifted slice for rows idx."""
         if is_reader:
@@ -385,28 +498,38 @@ def distributed_uoi_var(
     for k in range(B1):
         if not grid.owns_bootstrap(k):
             continue
-        A_loc, b_loc = lifted_local(selection_idx[k])
+        owned = [j for j in range(q) if grid.owns_lambda(j)]
+        cached = {}
+        for j in owned:
+            rec = ckpt.lookup(f"var-sel/k{k}/j{j}")
+            if rec is not None:
+                cached[j] = rec["beta"]
+        if len(cached) < len(owned):
+            A_loc, b_loc = lifted_local(selection_idx[k])
         beta = None
-        for j in range(q):
-            if not grid.owns_lambda(j):
-                continue
-            res = consensus_lasso_admm(
-                solver_comm,
-                A_loc,
-                b_loc,
-                float(lambdas[j]),
-                rho=lcfg.rho,
-                max_iter=lcfg.max_iter,
-                abstol=lcfg.abstol,
-                reltol=lcfg.reltol,
-                adapt_rho=lcfg.adapt_rho,
-                beta0=beta,
-            )
-            beta = res.beta
+        for j in owned:
+            if j in cached:
+                beta = cached[j]
+            else:
+                res = consensus_lasso_admm(
+                    solver_comm,
+                    A_loc,
+                    b_loc,
+                    float(lambdas[j]),
+                    rho=lcfg.rho,
+                    max_iter=lcfg.max_iter,
+                    abstol=lcfg.abstol,
+                    reltol=lcfg.reltol,
+                    adapt_rho=lcfg.adapt_rho,
+                    beta0=beta,
+                )
+                beta = res.beta
+                ckpt.record(f"var-sel/k{k}/j{j}", {"beta": beta})
             if grid.cell.rank == 0:
                 counts[j] += beta != 0.0
+    ckpt.flush()
     counts = comm.allreduce(counts, SUM)
-    family = counts >= int(np.ceil(lcfg.intersection_frac * B1))
+    family = family_from_counts(counts, B1, frac=lcfg.intersection_frac)
 
     # ------------------------- model estimation -------------------------
     losses = np.full((B2, q), np.inf)
@@ -414,12 +537,22 @@ def distributed_uoi_var(
     for k in range(B2):
         if not grid.owns_bootstrap(k):
             continue
+        owned = [j for j in range(q) if grid.owns_lambda(j)]
+        cached = {}
+        for j in owned:
+            rec = ckpt.lookup(f"var-est/k{k}/j{j}")
+            if rec is not None:
+                cached[j] = (rec["beta"], float(rec["loss"]))
         train_idx, eval_idx = estimation_idx[k]
-        A_tr, b_tr = lifted_local(train_idx)
-        A_ev, b_ev = lifted_local(eval_idx)
+        if len(cached) < len(owned):
+            A_tr, b_tr = lifted_local(train_idx)
+            A_ev, b_ev = lifted_local(eval_idx)
         n_eval_total = len(eval_idx) * p
-        for j in range(q):
-            if not grid.owns_lambda(j):
+        for j in owned:
+            if j in cached:
+                beta_full, loss = cached[j]
+                losses[k, j] = loss
+                kept[(k, j)] = beta_full
                 continue
             cols = np.flatnonzero(family[j])
             beta_full = np.zeros(kdim * p)
@@ -440,6 +573,10 @@ def distributed_uoi_var(
             sse = solver_comm.allreduce(float(resid @ resid), SUM)
             losses[k, j] = sse / max(n_eval_total, 1)
             kept[(k, j)] = beta_full
+            ckpt.record(
+                f"var-est/k{k}/j{j}", {"beta": beta_full, "loss": losses[k, j]}
+            )
+    ckpt.flush()
     losses = comm.allreduce(losses, MIN)
     winners = best_support_per_bootstrap(losses, rule=lcfg.selection_rule)
 
@@ -450,8 +587,12 @@ def distributed_uoi_var(
             contrib += kept[(k, j)]
     coef = comm.allreduce(contrib, SUM) / B2
 
+    recovered, completed = _reduce_progress(comm, grid, ckpt)
+
     return DistributedUoIResult(
-        coef=coef, supports=family, losses=losses, winners=winners, lambdas=lambdas
+        coef=coef, supports=family, losses=losses, winners=winners,
+        lambdas=lambdas,
+        recovered_subproblems=recovered, completed_subproblems=completed,
     )
 
 

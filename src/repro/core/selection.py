@@ -17,7 +17,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["support_of", "intersect_supports", "support_family", "unique_supports"]
+__all__ = [
+    "support_of",
+    "intersect_supports",
+    "family_from_counts",
+    "support_family",
+    "unique_supports",
+]
 
 
 def support_of(beta: np.ndarray, *, tol: float = 0.0) -> np.ndarray:
@@ -61,6 +67,36 @@ def intersect_supports(masks: np.ndarray, *, frac: float = 1.0) -> np.ndarray:
         return np.logical_and.reduce(masks, axis=0)
     threshold = int(np.ceil(frac * B))
     return masks.sum(axis=0) >= threshold
+
+
+def family_from_counts(counts: np.ndarray, n_bootstraps: int, *, frac: float = 1.0) -> np.ndarray:
+    """Thresholded intersection from per-feature selection *counts*.
+
+    The distributed drivers cannot AND masks directly — each cell only
+    solves its owned (bootstrap, λ) pairs — so they SUM-reduce integer
+    counts of how many bootstraps kept each feature and threshold here:
+    a feature survives when counted in at least ``ceil(frac * B1)``
+    bootstraps (``frac = 1.0`` is the paper's strict intersection,
+    eq. 3).  Checkpoint recovery reuses the same reduction when folding
+    recovered selection records back into a family.
+
+    Parameters
+    ----------
+    counts:
+        ``(q, p)`` (or any-shaped) integer selection counts.
+    n_bootstraps:
+        ``B1``, the number of bootstraps counted.
+    frac:
+        Soft-intersection threshold in ``(0, 1]``.
+    """
+    counts = np.asarray(counts)
+    if n_bootstraps < 1:
+        raise ValueError("n_bootstraps must be >= 1")
+    if not (0.0 < frac <= 1.0):
+        raise ValueError(f"frac must lie in (0, 1], got {frac}")
+    if np.any(counts < 0) or np.any(counts > n_bootstraps):
+        raise ValueError(f"counts must lie in [0, {n_bootstraps}]")
+    return counts >= int(np.ceil(frac * n_bootstraps))
 
 
 def support_family(

@@ -29,6 +29,7 @@ from repro.linalg.admm import LassoADMM
 from repro.linalg.cd import lasso_cd
 from repro.linalg.lambda_grid import lambda_grid
 from repro.linalg.ols import ols_on_support
+from repro.resilience.checkpoint import CheckpointPlan, CheckpointSession
 
 __all__ = ["UoILasso"]
 
@@ -71,6 +72,8 @@ class UoILasso:
         self.supports_: np.ndarray | None = None
         self.losses_: np.ndarray | None = None
         self.winners_: np.ndarray | None = None
+        self.recovered_subproblems_: int = 0
+        self.completed_subproblems_: int = 0
 
     # ------------------------------------------------------------------
     def _solve_path(
@@ -123,8 +126,23 @@ class UoILasso:
         return out
 
     # ------------------------------------------------------------------
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "UoILasso":
-        """Run selection + estimation on ``(X, y)``; returns ``self``."""
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        checkpoint: CheckpointPlan | None = None,
+    ) -> "UoILasso":
+        """Run selection + estimation on ``(X, y)``; returns ``self``.
+
+        ``checkpoint=`` persists each completed bootstrap (the full
+        ``(q, p)`` λ path in selection; the estimates and loss row in
+        estimation) so an interrupted fit rerun against the same store
+        resumes bitwise-identically: the RNG stream is always advanced
+        — bootstrap draws are replayed even for recovered records — so
+        later draws match the uninterrupted run exactly.  Counters land
+        on ``recovered_subproblems_`` / ``completed_subproblems_``.
+        """
         X = np.asarray(X, dtype=float)
         y = np.asarray(y, dtype=float)
         if X.ndim != 2:
@@ -144,12 +162,32 @@ class UoILasso:
         )
         rng = np.random.default_rng(cfg.random_state)
 
+        ckpt = CheckpointSession(checkpoint)
+        ckpt.ensure_meta({
+            "kind": "serial_uoi_lasso",
+            "n": n,
+            "p": p,
+            "q": cfg.n_lambdas,
+            "B1": cfg.n_selection_bootstraps,
+            "B2": cfg.n_estimation_bootstraps,
+            "random_state": cfg.random_state,
+            "intersection_frac": cfg.intersection_frac,
+        })
+
         # -------------------- model selection --------------------
         B1, q = cfg.n_selection_bootstraps, cfg.n_lambdas
         betas = np.empty((B1, q, p))
         for k in range(B1):
+            # Draw even when recovering, to keep the RNG stream aligned
+            # with an uninterrupted run.
             idx = iid_bootstrap(n, rng)
-            betas[k] = self._solve_path(Xc[idx], yc[idx], lambdas)
+            rec = ckpt.lookup(f"serial-sel/k{k}")
+            if rec is not None:
+                betas[k] = rec["betas"]
+            else:
+                betas[k] = self._solve_path(Xc[idx], yc[idx], lambdas)
+                ckpt.record(f"serial-sel/k{k}", {"betas": betas[k]})
+        ckpt.flush()
         family = support_family(betas, frac=cfg.intersection_frac)
 
         # -------------------- model estimation --------------------
@@ -160,10 +198,19 @@ class UoILasso:
             train_idx, eval_idx = bootstrap_train_eval(
                 n, rng, train_frac=cfg.train_frac
             )
+            rec = ckpt.lookup(f"serial-est/k{k}")
+            if rec is not None:
+                estimates[k] = rec["estimates"]
+                losses[k] = rec["losses"]
+                continue
             est = self._estimate_family(Xc[train_idx], yc[train_idx], family)
             estimates[k] = est
             for j in range(q):
                 losses[k, j] = prediction_loss(Xc[eval_idx], yc[eval_idx], est[j])
+            ckpt.record(
+                f"serial-est/k{k}", {"estimates": est, "losses": losses[k]}
+            )
+        ckpt.flush()
         winners = best_support_per_bootstrap(losses, rule=cfg.selection_rule)
         coef = union_average(estimates[np.arange(B2), winners])
 
@@ -173,6 +220,8 @@ class UoILasso:
         self.supports_ = family
         self.losses_ = losses
         self.winners_ = winners
+        self.recovered_subproblems_ = ckpt.recovered
+        self.completed_subproblems_ = ckpt.completed
         return self
 
     # ------------------------------------------------------------------

@@ -34,6 +34,7 @@ from repro.core.selection import intersect_supports
 from repro.linalg.admm import LassoADMM
 from repro.linalg.cd import lasso_cd, precompute_gram
 from repro.linalg.ols import ols_on_support
+from repro.resilience.checkpoint import CheckpointPlan, CheckpointSession
 from repro.var.diagnostics import diagnose
 from repro.var.forecast import forecast, forecast_intervals
 from repro.var.granger import granger_digraph, network_summary
@@ -86,6 +87,8 @@ class UoIVar:
         self.supports_: np.ndarray | None = None
         self.losses_: np.ndarray | None = None
         self.winners_: np.ndarray | None = None
+        self.recovered_subproblems_: int = 0
+        self.completed_subproblems_: int = 0
         self._p: int | None = None
         self._kdim: int | None = None
 
@@ -181,8 +184,19 @@ class UoIVar:
         return float((resid**2).sum() / max(resid.size, 1))
 
     # ------------------------------------------------------------------
-    def fit(self, series: np.ndarray) -> "UoIVar":
-        """Infer the VAR(d) model from an ``(N, p)`` series; returns ``self``."""
+    def fit(
+        self,
+        series: np.ndarray,
+        *,
+        checkpoint: CheckpointPlan | None = None,
+    ) -> "UoIVar":
+        """Infer the VAR(d) model from an ``(N, p)`` series; returns ``self``.
+
+        ``checkpoint=`` persists completed bootstraps (support masks in
+        selection, estimates + loss rows in estimation) for
+        bitwise-identical resume; block-bootstrap draws are always
+        replayed so the RNG stream matches an uninterrupted run.
+        """
         cfg = self.config
         lcfg = cfg.lasso
         Y, X = build_lag_matrices(
@@ -195,13 +209,34 @@ class UoIVar:
         rng = np.random.default_rng(lcfg.random_state)
         L = cfg.block_length
 
+        ckpt = CheckpointSession(checkpoint)
+        ckpt.ensure_meta({
+            "kind": "serial_uoi_var",
+            "m": m,
+            "p": p,
+            "kdim": kdim,
+            "order": cfg.order,
+            "block_length": cfg.block_length,
+            "q": lcfg.n_lambdas,
+            "B1": lcfg.n_selection_bootstraps,
+            "B2": lcfg.n_estimation_bootstraps,
+            "random_state": lcfg.random_state,
+            "intersection_frac": lcfg.intersection_frac,
+        })
+
         # -------------------- model selection --------------------
         B1, q = lcfg.n_selection_bootstraps, lcfg.n_lambdas
         masks = np.empty((B1, q, kdim * p), dtype=bool)
         for k in range(B1):
             idx = circular_block_bootstrap(m, rng, block_length=L)
-            betas = self._solve_path_columns(X[idx], Y[idx], lambdas)
-            masks[k] = betas != 0.0
+            rec = ckpt.lookup(f"serial-var-sel/k{k}")
+            if rec is not None:
+                masks[k] = rec["masks"]
+            else:
+                betas = self._solve_path_columns(X[idx], Y[idx], lambdas)
+                masks[k] = betas != 0.0
+                ckpt.record(f"serial-var-sel/k{k}", {"masks": masks[k]})
+        ckpt.flush()
         family = intersect_supports(masks, frac=lcfg.intersection_frac)
 
         # -------------------- model estimation --------------------
@@ -212,10 +247,19 @@ class UoIVar:
             train_idx, eval_idx = block_train_eval(
                 m, rng, block_length=L, train_frac=lcfg.train_frac
             )
+            rec = ckpt.lookup(f"serial-var-est/k{k}")
+            if rec is not None:
+                estimates[k] = rec["estimates"]
+                losses[k] = rec["losses"]
+                continue
             est = self._ols_family_columns(X[train_idx], Y[train_idx], family)
             estimates[k] = est
             for j in range(q):
                 losses[k, j] = self._lifted_loss(X[eval_idx], Y[eval_idx], est[j])
+            ckpt.record(
+                f"serial-var-est/k{k}", {"estimates": est, "losses": losses[k]}
+            )
+        ckpt.flush()
         winners = best_support_per_bootstrap(losses, rule=lcfg.selection_rule)
         vec_coef = union_average(estimates[np.arange(B2), winners])
 
@@ -229,6 +273,8 @@ class UoIVar:
         self.supports_ = family
         self.losses_ = losses
         self.winners_ = winners
+        self.recovered_subproblems_ = ckpt.recovered
+        self.completed_subproblems_ = ckpt.completed
         return self
 
     # ------------------------------------------------------------------

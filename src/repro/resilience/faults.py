@@ -1,0 +1,250 @@
+"""Fault injection for the simulated MPI substrate.
+
+A :class:`FaultPlan` declares what goes wrong and where, before a job
+is launched:
+
+* **rank crash** — terminate one rank with
+  :class:`~repro.simmpi.comm.SimulatedRankFailure` when its virtual
+  clock reaches ``at_time`` or when it posts its ``at_collective``-th
+  collective.  Crashes fire at communication entry points (collectives,
+  point-to-point, RMA), which is where a real MPI process discovers and
+  reports node death;
+* **message delay** — add a fixed number of modeled seconds to a rank's
+  communication operations (straggler / congested-link model);
+* **transient RMA Get failure** — make the next ``count`` one-sided
+  Gets from an origin rank fail; :meth:`repro.simmpi.window.Window.get`
+  pays the wasted latency and retries.
+
+``run_spmd(fault_plan=plan)`` hands each rank an injector
+(:meth:`FaultPlan.injector`); the hooks in
+:mod:`repro.simmpi.comm` and :mod:`repro.simmpi.window` consult it on
+every operation.  Crash and transient specs are **one-shot across
+restarts**: once fired, a restarted job (same plan object) runs clean,
+which is what lets recovery drivers re-run a program under the plan
+that just killed it.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.simmpi.clock import RankClock, TimeCategory
+from repro.simmpi.comm import SimulatedRankFailure
+
+__all__ = [
+    "CrashFault",
+    "DelayFault",
+    "TransientGetFault",
+    "FaultPlan",
+    "RankFaultInjector",
+]
+
+
+@dataclass
+class CrashFault:
+    """Kill ``rank`` at virtual time ``at_time`` or collective #``at_collective``."""
+
+    rank: int
+    at_time: float | None = None
+    at_collective: int | None = None
+    fired: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.at_time is None) == (self.at_collective is None):
+            raise ValueError(
+                "exactly one of at_time / at_collective must be given"
+            )
+        if self.at_time is not None and self.at_time < 0:
+            raise ValueError("at_time must be >= 0")
+        if self.at_collective is not None and self.at_collective < 1:
+            raise ValueError("at_collective counts from 1")
+
+    def due(self, now: float, n_collectives: int) -> bool:
+        if self.fired:
+            return False
+        if self.at_time is not None:
+            return now >= self.at_time
+        return n_collectives >= self.at_collective
+
+    def describe(self) -> str:
+        if self.at_time is not None:
+            return f"crash at t >= {self.at_time:.6g}s"
+        return f"crash at collective #{self.at_collective}"
+
+
+@dataclass
+class DelayFault:
+    """Charge ``seconds`` extra on ``rank``'s communication operations.
+
+    ``count`` bounds how many operations are delayed (``None`` = all).
+    """
+
+    rank: int
+    seconds: float
+    count: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        if self.count is not None and self.count < 1:
+            raise ValueError("count must be >= 1")
+
+    def take(self) -> float:
+        """Seconds to charge for one operation (consumes the budget)."""
+        if self.count is None:
+            return self.seconds
+        if self.count > 0:
+            self.count -= 1
+            return self.seconds
+        return 0.0
+
+
+@dataclass
+class TransientGetFault:
+    """Fail the next ``count`` RMA Gets from ``rank`` (to ``target``, or any)."""
+
+    rank: int
+    target: int | None = None
+    count: int = 1
+    remaining: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        self.remaining = self.count
+
+    def take(self, target: int) -> bool:
+        if self.remaining <= 0:
+            return False
+        if self.target is not None and target != self.target:
+            return False
+        self.remaining -= 1
+        return True
+
+
+class FaultPlan:
+    """A declarative set of faults to inject into one (or more) SPMD runs.
+
+    Methods return ``self`` so plans chain::
+
+        plan = FaultPlan().crash(1, at_time=0.5).delay(2, 1e-3, count=10)
+
+    The plan object carries the fired/remaining state, so passing the
+    same plan to a restarted job will not replay already-fired crashes;
+    :meth:`reset` re-arms everything.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.crashes: list[CrashFault] = []
+        self.delays: list[DelayFault] = []
+        self.transient_gets: list[TransientGetFault] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def crash(
+        self,
+        rank: int,
+        *,
+        at_time: float | None = None,
+        at_collective: int | None = None,
+    ) -> "FaultPlan":
+        """Kill ``rank`` at a virtual time or at its n-th collective."""
+        self.crashes.append(
+            CrashFault(rank=rank, at_time=at_time, at_collective=at_collective)
+        )
+        return self
+
+    def delay(
+        self, rank: int, seconds: float, *, count: int | None = None
+    ) -> "FaultPlan":
+        """Slow ``rank``'s communication by ``seconds`` per operation."""
+        self.delays.append(DelayFault(rank=rank, seconds=seconds, count=count))
+        return self
+
+    def transient_get_failure(
+        self, rank: int, *, target: int | None = None, count: int = 1
+    ) -> "FaultPlan":
+        """Fail ``rank``'s next ``count`` window Gets (optionally to ``target``)."""
+        self.transient_gets.append(
+            TransientGetFault(rank=rank, target=target, count=count)
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # runtime
+    # ------------------------------------------------------------------
+    def reset(self) -> "FaultPlan":
+        """Re-arm every one-shot fault (fired crashes, spent budgets)."""
+        with self._lock:
+            for c in self.crashes:
+                c.fired = False
+            for t in self.transient_gets:
+                t.remaining = t.count
+        return self
+
+    def injector(self, rank: int) -> "RankFaultInjector":
+        """Fresh per-rank injector for one ``run_spmd`` attempt."""
+        return RankFaultInjector(self, rank)
+
+    def pending(self) -> int:
+        """Number of crash faults that have not fired yet."""
+        with self._lock:
+            return sum(1 for c in self.crashes if not c.fired)
+
+
+class RankFaultInjector:
+    """One rank's view of a :class:`FaultPlan` during one run.
+
+    The simmpi hooks call :meth:`on_collective`, :meth:`on_p2p` and
+    :meth:`on_rma_get`; each checks crash triggers first (raising
+    :class:`~repro.simmpi.comm.SimulatedRankFailure`), then applies
+    delays / transient failures.  The collective counter is local to
+    this injector, so ``at_collective`` counts from the start of each
+    attempt; crash ``fired`` flags live on the shared plan.
+    """
+
+    def __init__(self, plan: FaultPlan, rank: int) -> None:
+        self.plan = plan
+        self.rank = rank
+        self.n_collectives = 0
+
+    # -- internal ------------------------------------------------------
+    def _check_crash(self, clock: RankClock) -> None:
+        with self.plan._lock:
+            for c in self.plan.crashes:
+                if c.rank == self.rank and c.due(clock.now, self.n_collectives):
+                    c.fired = True
+                    raise SimulatedRankFailure(self.rank, c.describe())
+
+    def _apply_delay(self, clock: RankClock) -> None:
+        total = 0.0
+        with self.plan._lock:
+            for d in self.plan.delays:
+                if d.rank == self.rank:
+                    total += d.take()
+        if total > 0.0:
+            clock.charge(TimeCategory.COMMUNICATION, total)
+
+    # -- hook entry points ---------------------------------------------
+    def on_collective(self, clock: RankClock) -> None:
+        """Called when this rank posts a collective."""
+        self.n_collectives += 1
+        self._check_crash(clock)
+        self._apply_delay(clock)
+
+    def on_p2p(self, clock: RankClock) -> None:
+        """Called on send/recv entry."""
+        self._check_crash(clock)
+        self._apply_delay(clock)
+
+    def on_rma_get(self, clock: RankClock, target: int) -> bool:
+        """Called per Get attempt; True = inject a transient failure."""
+        self._check_crash(clock)
+        with self.plan._lock:
+            for t in self.plan.transient_gets:
+                if t.rank == self.rank and t.take(target):
+                    return True
+        return False

@@ -30,9 +30,14 @@ from-scratch substitute with two coupled halves:
 
 from repro.simmpi.machine import MachineModel, CORI_KNL, LAPTOP
 from repro.simmpi.clock import RankClock, TimeCategory
-from repro.simmpi.comm import SimComm, CollectiveRequest, RecvRequest
-from repro.simmpi.executor import run_spmd, SpmdError
-from repro.simmpi.window import Window
+from repro.simmpi.comm import (
+    SimComm,
+    SimulatedRankFailure,
+    CollectiveRequest,
+    RecvRequest,
+)
+from repro.simmpi.executor import run_spmd, SpmdError, SpmdResult
+from repro.simmpi.window import Window, RmaError
 from repro.simmpi.trace import TraceEvent, Tracer
 from repro.simmpi import timing
 from repro.simmpi.reduce_ops import SUM, MAX, MIN, PROD, LAND, LOR
@@ -44,11 +49,14 @@ __all__ = [
     "RankClock",
     "TimeCategory",
     "SimComm",
+    "SimulatedRankFailure",
     "CollectiveRequest",
     "RecvRequest",
     "run_spmd",
     "SpmdError",
+    "SpmdResult",
     "Window",
+    "RmaError",
     "TraceEvent",
     "Tracer",
     "timing",

@@ -32,7 +32,14 @@ from repro.simmpi.clock import RankClock, TimeCategory
 from repro.simmpi.machine import MachineModel
 from repro.simmpi.reduce_ops import ReduceOp, SUM
 
-__all__ = ["SimComm", "SimAborted", "payload_nbytes", "CollectiveRequest", "RecvRequest"]
+__all__ = [
+    "SimComm",
+    "SimAborted",
+    "SimulatedRankFailure",
+    "payload_nbytes",
+    "CollectiveRequest",
+    "RecvRequest",
+]
 
 #: How long a rank may wait inside a collective / recv before the run
 #: is declared deadlocked.  Generous for slow CI boxes, small enough
@@ -42,6 +49,23 @@ DEADLOCK_TIMEOUT_S = 120.0
 
 class SimAborted(RuntimeError):
     """Raised in every blocked rank when the SPMD run is aborted."""
+
+
+class SimulatedRankFailure(RuntimeError):
+    """An injected fault terminated this rank (see :mod:`repro.resilience`).
+
+    Unlike an ordinary exception — which :func:`repro.simmpi.executor.run_spmd`
+    treats as a program bug and re-raises as :class:`SpmdError` — a
+    simulated failure is *contained*: the rank dies, its peers unwind at
+    their next blocking communication, and the launcher reports the dead
+    ranks on the result instead of raising, so checkpoint/restart logic
+    can take over.
+    """
+
+    def __init__(self, rank: int, reason: str) -> None:
+        super().__init__(f"rank {rank} killed by injected fault: {reason}")
+        self.rank = rank
+        self.reason = reason
 
 
 def payload_nbytes(obj: Any) -> int:
@@ -90,12 +114,31 @@ class _Rendezvous:
         self.mailboxes: dict[tuple[int, int, int], deque] = {}
         self.aborted = False
         self.abort_reason = ""
+        #: Rendezvous of sub-communicators split off this one.  Aborts
+        #: cascade down, so a rank blocked in a *cell* collective still
+        #: unwinds when the world job aborts (e.g. an injected crash on
+        #: a rank of a different cell).
+        self.children: list["_Rendezvous"] = []
+
+    def adopt(self, child: "_Rendezvous") -> None:
+        """Register a split-off rendezvous for abort cascading."""
+        with self.cond:
+            if child in self.children:
+                return
+            self.children.append(child)
+            already_aborted = self.aborted
+            reason = self.abort_reason
+        if already_aborted:
+            child.abort(reason)
 
     def abort(self, reason: str) -> None:
         with self.cond:
             self.aborted = True
             self.abort_reason = reason
             self.cond.notify_all()
+            children = list(self.children)
+        for child in children:
+            child.abort(reason)
 
     def check_abort(self) -> None:
         if self.aborted:
@@ -203,6 +246,11 @@ class SimComm:
         rank's collective completion time is jittered by a lognormal
         factor, modeling the rank-to-rank variability behind the
         paper's Fig. 5.  ``None`` keeps timing deterministic.
+    injector:
+        Optional per-rank fault injector
+        (:meth:`repro.resilience.faults.FaultPlan.injector`).  Every
+        communication entry point consults it, so crash / delay faults
+        fire at realistic points; ``None`` (default) injects nothing.
     """
 
     def __init__(
@@ -213,6 +261,7 @@ class SimComm:
         clock: RankClock,
         machine: MachineModel,
         noise_rng: np.random.Generator | None = None,
+        injector=None,
     ) -> None:
         if not (0 <= rank < size):
             raise ValueError(f"rank {rank} out of range for size {size}")
@@ -222,6 +271,7 @@ class SimComm:
         self.clock = clock
         self.machine = machine
         self.noise_rng = noise_rng
+        self.injector = injector
         self._seq = 0
 
     # ------------------------------------------------------------------
@@ -250,6 +300,8 @@ class SimComm:
         exactly the benefit of the non-blocking MPI the paper's future
         work proposes.
         """
+        if self.injector is not None:
+            self.injector.on_collective(self.clock)
         rdv = self._rdv
         seq = self._seq
         self._seq += 1
@@ -327,6 +379,8 @@ class SimComm:
         """Blocking (eager) send of ``obj`` to rank ``dest``."""
         if not (0 <= dest < self.size):
             raise ValueError(f"dest {dest} out of range for size {self.size}")
+        if self.injector is not None:
+            self.injector.on_p2p(self.clock)
         rdv = self._rdv
         cost = timing.p2p_time(self.machine, payload_nbytes(obj))
         with rdv.cond:
@@ -348,6 +402,8 @@ class SimComm:
         """Blocking receive from rank ``source``."""
         if not (0 <= source < self.size):
             raise ValueError(f"source {source} out of range for size {self.size}")
+        if self.injector is not None:
+            self.injector.on_p2p(self.clock)
         rdv = self._rdv
         key = (source, self.rank, tag)
         with rdv.cond:
@@ -709,8 +765,15 @@ class SimComm:
             TimeCategory.COMMUNICATION,
             pick=lambda layout, rank: layout[rank],
         )
+        self._rdv.adopt(new_rdv)
         return SimComm(
-            new_rdv, new_rank, new_size, self.clock, self.machine, self.noise_rng
+            new_rdv,
+            new_rank,
+            new_size,
+            self.clock,
+            self.machine,
+            self.noise_rng,
+            injector=self.injector,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

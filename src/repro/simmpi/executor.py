@@ -6,11 +6,19 @@ one virtual clock and one thread per rank, runs
 ``fn(comm, *args, **kwargs)`` everywhere, and returns the rank-ordered
 list of return values (plus the clocks, for timing reports).
 
-Error handling mirrors a well-behaved MPI runtime: the first rank that
-raises aborts the whole job — every rank blocked in a collective or
-``recv`` wakes up with :class:`~repro.simmpi.comm.SimAborted` — and the
-original exception is re-raised in the caller wrapped in
-:class:`SpmdError` with the failing rank attached.
+Error handling mirrors a well-behaved MPI runtime: a rank that raises
+aborts the whole job — every rank blocked in a collective or ``recv``
+wakes up with :class:`~repro.simmpi.comm.SimAborted` — and every
+primary exception is re-raised in the caller aggregated into
+:class:`SpmdError` (rank-ordered ``failures``, first failure on
+``.rank``/``.original``).
+
+Injected faults are different: a rank terminated by
+:class:`~repro.simmpi.comm.SimulatedRankFailure` (see
+:mod:`repro.resilience.faults`) models a *node crash*, not a program
+bug.  The dead rank is reported on
+:attr:`SpmdResult.failed_ranks` and ``run_spmd`` returns normally, so
+checkpoint/restart drivers can inspect the wreckage and resume.
 """
 
 from __future__ import annotations
@@ -22,7 +30,12 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.simmpi.clock import RankClock
-from repro.simmpi.comm import SimAborted, SimComm, _Rendezvous
+from repro.simmpi.comm import (
+    SimAborted,
+    SimComm,
+    SimulatedRankFailure,
+    _Rendezvous,
+)
 from repro.simmpi.machine import MachineModel, LAPTOP
 from repro.simmpi.trace import Tracer
 
@@ -30,12 +43,34 @@ __all__ = ["run_spmd", "SpmdError", "SpmdResult"]
 
 
 class SpmdError(RuntimeError):
-    """Wraps the first exception raised by any simulated rank."""
+    """Aggregates every primary exception raised by the simulated ranks.
 
-    def __init__(self, rank: int, original: BaseException) -> None:
-        super().__init__(f"rank {rank} failed: {original!r}")
-        self.rank = rank
-        self.original = original
+    Attributes
+    ----------
+    failures:
+        Rank-ordered ``[(rank, exception), ...]`` of every rank that
+        raised a primary error (secondary :class:`SimAborted` unwinds
+        are not failures).  Multi-rank faults are therefore fully
+        diagnosable from one exception.
+    rank, original:
+        The lowest failing rank and its exception (the historical
+        single-failure interface).
+    """
+
+    def __init__(self, failures: list[tuple[int, BaseException]]) -> None:
+        if not failures:
+            raise ValueError("SpmdError needs at least one failure")
+        failures = sorted(failures, key=lambda f: f[0])
+        if len(failures) == 1:
+            rank, exc = failures[0]
+            msg = f"rank {rank} failed: {exc!r}"
+        else:
+            ranks = ", ".join(str(r) for r, _ in failures)
+            details = "; ".join(f"rank {r}: {e!r}" for r, e in failures)
+            msg = f"{len(failures)} ranks failed ({ranks}): {details}"
+        super().__init__(msg)
+        self.failures = failures
+        self.rank, self.original = failures[0]
 
 
 @dataclass
@@ -51,11 +86,22 @@ class SpmdResult:
     trace:
         The shared :class:`~repro.simmpi.trace.Tracer` when the run
         was launched with ``trace=True``; otherwise ``None``.
+    failed_ranks:
+        ``{rank: SimulatedRankFailure}`` for every rank terminated by
+        an injected fault.  Empty on a clean run.  When non-empty the
+        surviving ranks unwound at their next blocking communication,
+        so their ``values`` entries are ``None``.
     """
 
     values: list[Any]
     clocks: list[RankClock]
     trace: Tracer | None = None
+    failed_ranks: dict[int, BaseException] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> bool:
+        """True when every rank ran to completion (no injected deaths)."""
+        return not self.failed_ranks
 
     @property
     def elapsed(self) -> float:
@@ -77,6 +123,7 @@ def run_spmd(
     seed: int | None = None,
     timing_noise: bool = False,
     trace: bool = False,
+    fault_plan=None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
@@ -104,17 +151,23 @@ def run_spmd(
         Record every clock advance into a shared
         :class:`~repro.simmpi.trace.Tracer` (profiler-style timeline),
         returned on the result.
+    fault_plan:
+        Optional :class:`repro.resilience.faults.FaultPlan`.  Each rank
+        gets a fresh injector from :meth:`FaultPlan.injector`; injected
+        rank crashes terminate only that rank (reported on
+        :attr:`SpmdResult.failed_ranks`) instead of raising.
 
     Returns
     -------
     SpmdResult
-        Return values and clocks for every rank.
+        Return values and clocks for every rank, plus any injected
+        rank deaths on ``failed_ranks``.
 
     Raises
     ------
     SpmdError
-        If any rank raised; carries the failing rank and original
-        exception.
+        If any rank raised an ordinary exception; aggregates every
+        failing rank (``.failures``).
     """
     if nranks < 1:
         raise ValueError(f"nranks must be >= 1, got {nranks}")
@@ -128,6 +181,7 @@ def run_spmd(
     clocks = [RankClock(rank=r, tracer=tracer) for r in range(nranks)]
     values: list[Any] = [None] * nranks
     errors: list[tuple[int, BaseException]] = []
+    injected: list[tuple[int, BaseException]] = []
     errors_lock = threading.Lock()
 
     def worker(rank: int) -> None:
@@ -136,13 +190,24 @@ def run_spmd(
             rng = np.random.default_rng(
                 (seed if seed is not None else 0) * 1_000_003 + rank
             )
-        comm = SimComm(rendezvous, rank, nranks, clocks[rank], machine, rng)
+        injector = fault_plan.injector(rank) if fault_plan is not None else None
+        comm = SimComm(
+            rendezvous, rank, nranks, clocks[rank], machine, rng,
+            injector=injector,
+        )
         try:
             values[rank] = fn(comm, *args, **kwargs)
         except SimAborted:
             # Secondary failure caused by another rank's abort; the
             # primary error is already recorded.
             pass
+        except SimulatedRankFailure as exc:
+            # Injected node crash: contain it.  Peers unwind with
+            # SimAborted at their next blocking communication — exactly
+            # when a real MPI job would discover the dead rank.
+            with errors_lock:
+                injected.append((rank, exc))
+            rendezvous.abort(str(exc))
         except BaseException as exc:  # noqa: BLE001 - must propagate anything
             with errors_lock:
                 errors.append((rank, exc))
@@ -159,6 +224,10 @@ def run_spmd(
 
     if errors:
         errors.sort(key=lambda e: e[0])
-        rank, exc = errors[0]
-        raise SpmdError(rank, exc) from exc
-    return SpmdResult(values=values, clocks=clocks, trace=tracer)
+        raise SpmdError(errors) from errors[0][1]
+    return SpmdResult(
+        values=values,
+        clocks=clocks,
+        trace=tracer,
+        failed_ranks=dict(sorted(injected)),
+    )

@@ -30,7 +30,11 @@ from repro.simmpi import timing
 from repro.simmpi.clock import TimeCategory
 from repro.simmpi.comm import SimComm
 
-__all__ = ["Window"]
+__all__ = ["Window", "RmaError"]
+
+
+class RmaError(RuntimeError):
+    """A one-sided operation failed permanently (retry budget exhausted)."""
 
 
 class _WindowState:
@@ -59,6 +63,10 @@ class Window:
         Time category RMA operations charge to —
         ``TimeCategory.DISTRIBUTION`` by default, matching the paper's
         "Distribution" bar.
+    max_get_retries:
+        How many consecutive transient Get failures (injected via a
+        :class:`repro.resilience.faults.FaultPlan`) are retried before
+        the operation fails permanently with :class:`RmaError`.
     """
 
     def __init__(
@@ -67,9 +75,13 @@ class Window:
         local: np.ndarray | None = None,
         *,
         category: TimeCategory = TimeCategory.DISTRIBUTION,
+        max_get_retries: int = 8,
     ) -> None:
         self.comm = comm
         self.category = category
+        self.max_get_retries = max_get_retries
+        #: Transient Get failures survived by this rank (diagnostics).
+        self.retries = 0
         if local is not None:
             local = np.ascontiguousarray(local)
         # Collective creation: rank 0 allocates the shared state and
@@ -106,7 +118,30 @@ class Window:
 
         ``key`` is any numpy basic/advanced index (slice, fancy index,
         tuple).  Returns a private copy; charges this rank's clock.
+
+        Under an injected :class:`~repro.resilience.faults.FaultPlan`, a
+        Get may fail transiently: the origin pays the wire latency of
+        the failed attempt and retries, up to ``max_get_retries``
+        consecutive failures, after which :class:`RmaError` is raised.
+        Failed attempts never touch the target's exposure lock, so the
+        window stays usable by other origins throughout.
         """
+        injector = getattr(self.comm, "injector", None)
+        if injector is not None:
+            attempts = 0
+            while injector.on_rma_get(self.comm.clock, target_rank):
+                attempts += 1
+                self.retries += 1
+                # A failed attempt costs the round-trip latency but
+                # moves no payload.
+                self.comm.clock.charge(
+                    self.category, timing.rma_time(self.comm.machine, 0)
+                )
+                if attempts >= self.max_get_retries:
+                    raise RmaError(
+                        f"Get from rank {target_rank} failed "
+                        f"{attempts} consecutive times"
+                    )
         buf = self._check_target(target_rank)
         state = self._state
         with state.active_lock:

@@ -1,0 +1,268 @@
+"""Tests for fault injection: plans, injectors, and simmpi hooks."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import FaultPlan, SimulatedRankFailure
+from repro.resilience.faults import CrashFault, DelayFault, TransientGetFault
+from repro.simmpi import (
+    LAPTOP,
+    RmaError,
+    SpmdError,
+    TimeCategory,
+    Window,
+    run_spmd,
+)
+
+
+class TestFaultPlanConstruction:
+    def test_crash_requires_exactly_one_trigger(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            CrashFault(rank=0)
+        with pytest.raises(ValueError, match="exactly one"):
+            CrashFault(rank=0, at_time=1.0, at_collective=3)
+
+    def test_crash_trigger_validation(self):
+        with pytest.raises(ValueError):
+            CrashFault(rank=0, at_time=-1.0)
+        with pytest.raises(ValueError, match="counts from 1"):
+            CrashFault(rank=0, at_collective=0)
+
+    def test_delay_and_transient_validation(self):
+        with pytest.raises(ValueError):
+            DelayFault(rank=0, seconds=-0.1)
+        with pytest.raises(ValueError):
+            DelayFault(rank=0, seconds=0.1, count=0)
+        with pytest.raises(ValueError):
+            TransientGetFault(rank=0, count=0)
+
+    def test_plan_chains_and_counts_pending(self):
+        plan = (
+            FaultPlan()
+            .crash(0, at_collective=1)
+            .crash(2, at_time=5.0)
+            .delay(1, 1e-3)
+            .transient_get_failure(1, count=2)
+        )
+        assert plan.pending() == 2
+        assert len(plan.delays) == 1
+        assert len(plan.transient_gets) == 1
+
+    def test_reset_rearms_one_shot_faults(self):
+        plan = FaultPlan().crash(0, at_collective=1).transient_get_failure(0)
+        plan.crashes[0].fired = True
+        plan.transient_gets[0].remaining = 0
+        plan.reset()
+        assert not plan.crashes[0].fired
+        assert plan.transient_gets[0].remaining == 1
+        assert plan.pending() == 1
+
+
+class TestCrashContainment:
+    def test_crash_at_collective_reported_not_raised(self):
+        plan = FaultPlan().crash(1, at_collective=2)
+
+        def prog(comm):
+            x = comm.allreduce(1.0)
+            x = comm.allreduce(x)
+            return comm.allreduce(x)
+
+        res = run_spmd(4, prog, fault_plan=plan)
+        assert not res.completed
+        assert set(res.failed_ranks) == {1}
+        assert isinstance(res.failed_ranks[1], SimulatedRankFailure)
+        assert res.failed_ranks[1].rank == 1
+        # Survivors unwound before returning.
+        assert all(v is None for v in res.values)
+
+    def test_crash_is_one_shot_across_restarts(self):
+        plan = FaultPlan().crash(0, at_collective=1)
+
+        def prog(comm):
+            return comm.allreduce(comm.rank)
+
+        first = run_spmd(3, prog, fault_plan=plan)
+        assert set(first.failed_ranks) == {0}
+        second = run_spmd(3, prog, fault_plan=plan)
+        assert second.completed
+        assert second.values == [3, 3, 3]
+
+    def test_crash_at_virtual_time(self):
+        def prog(comm):
+            total = 0.0
+            for _ in range(50):
+                total = comm.allreduce(total + 1.0)
+            return total
+
+        clean = run_spmd(2, prog, machine=LAPTOP)
+        assert clean.completed
+        plan = FaultPlan().crash(1, at_time=0.5 * clean.elapsed)
+        res = run_spmd(2, prog, machine=LAPTOP, fault_plan=plan)
+        assert set(res.failed_ranks) == {1}
+        # It died mid-run, not at the start or end.
+        assert 0.0 < res.elapsed < clean.elapsed
+
+    def test_crash_unblocks_subcommunicator_collectives(self):
+        # Rank 3 (cell B) dies; ranks 0-1 (cell A) are blocked in a
+        # *cell* collective the dead rank never joins.  The abort must
+        # cascade into split-off rendezvous or the job deadlocks.
+        plan = FaultPlan().crash(3, at_collective=3)
+
+        def prog(comm):
+            cell = comm.split(comm.rank // 2)
+            for _ in range(100):
+                cell.allreduce(1.0)
+            comm.barrier()
+            return comm.rank
+
+        res = run_spmd(4, prog, fault_plan=plan)
+        assert set(res.failed_ranks) == {3}
+
+    def test_delay_slows_only_target_rank(self):
+        def prog(comm):
+            for _ in range(10):
+                comm.allreduce(1.0)
+            return comm.clock.now
+
+        clean = run_spmd(2, prog, machine=LAPTOP)
+        plan = FaultPlan().delay(1, 1e-3)
+        slowed = run_spmd(2, prog, machine=LAPTOP, fault_plan=plan)
+        assert slowed.completed
+        assert slowed.elapsed >= clean.elapsed + 9e-3
+        # The delay is charged as communication time on the laggard.
+        comm_time = slowed.clocks[1].breakdown[TimeCategory.COMMUNICATION]
+        assert comm_time >= 10e-3
+
+    def test_delay_count_bounds_budget(self):
+        def prog(comm):
+            for _ in range(10):
+                comm.allreduce(1.0)
+            return None
+
+        unbounded = run_spmd(2, prog, machine=LAPTOP,
+                             fault_plan=FaultPlan().delay(0, 1e-3))
+        bounded = run_spmd(2, prog, machine=LAPTOP,
+                           fault_plan=FaultPlan().delay(0, 1e-3, count=2))
+        assert bounded.elapsed < unbounded.elapsed
+
+
+class TestSpmdErrorAggregation:
+    def test_single_failure_keeps_historical_message(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            return comm.allreduce(1.0)
+
+        with pytest.raises(SpmdError, match="rank 1 failed") as err:
+            run_spmd(3, prog)
+        assert err.value.rank == 1
+        assert isinstance(err.value.original, ValueError)
+        assert err.value.failures == [(1, err.value.original)]
+
+    def test_multiple_failures_all_reported(self):
+        def prog(comm):
+            if comm.rank in (0, 2):
+                raise RuntimeError(f"dead-{comm.rank}")
+            return comm.allreduce(1.0)
+
+        with pytest.raises(SpmdError) as err:
+            run_spmd(4, prog)
+        failures = err.value.failures
+        assert [r for r, _ in failures] == [0, 2]
+        msg = str(err.value)
+        assert "2 ranks failed" in msg
+        assert "dead-0" in msg and "dead-2" in msg
+        # Historical single-failure attributes point at the lowest rank.
+        assert err.value.rank == 0
+
+    def test_empty_failures_rejected(self):
+        with pytest.raises(ValueError):
+            SpmdError([])
+
+
+class TestTransientGetFaults:
+    def test_get_retries_and_returns_correct_data(self):
+        plan = FaultPlan().transient_get_failure(1, count=3)
+
+        def prog(comm):
+            local = np.arange(8, dtype=float) * (comm.rank + 1)
+            win = Window(comm, local)
+            got = win.get(0, slice(None))
+            win.fence()
+            return got, win.retries
+
+        res = run_spmd(2, prog, fault_plan=plan)
+        assert res.completed
+        data1, retries1 = res.values[1]
+        np.testing.assert_array_equal(data1, np.arange(8, dtype=float))
+        assert retries1 == 3
+        _, retries0 = res.values[0]
+        assert retries0 == 0
+
+    def test_failed_attempts_cost_latency(self):
+        def prog(comm):
+            win = Window(comm, np.zeros(4))
+            win.get(0, slice(None))
+            win.fence()
+            return comm.clock.breakdown[TimeCategory.DISTRIBUTION]
+
+        clean = run_spmd(2, prog, machine=LAPTOP)
+        plan = FaultPlan().transient_get_failure(1, count=5)
+        faulted = run_spmd(2, prog, machine=LAPTOP, fault_plan=plan)
+        assert faulted.values[1] > clean.values[1]
+
+    def test_retry_budget_exhaustion_raises_rma_error(self):
+        plan = FaultPlan().transient_get_failure(1, count=100)
+
+        def prog(comm):
+            win = Window(comm, np.zeros(4), max_get_retries=4)
+            if comm.rank == 1:
+                win.get(0, slice(None))
+            win.fence()
+            return None
+
+        with pytest.raises(SpmdError, match="4 consecutive times") as err:
+            run_spmd(2, prog, fault_plan=plan)
+        assert isinstance(err.value.original, RmaError)
+
+    def test_target_scoped_fault_spares_other_targets(self):
+        plan = FaultPlan().transient_get_failure(2, target=0, count=1)
+
+        def prog(comm):
+            win = Window(comm, np.full(3, float(comm.rank)))
+            a = win.get(1, slice(None))  # unaffected target
+            b = win.get(0, slice(None))  # injected once
+            win.fence()
+            return a, b, win.retries
+
+        res = run_spmd(3, prog, fault_plan=plan)
+        a, b, retries = res.values[2]
+        np.testing.assert_array_equal(a, np.ones(3))
+        np.testing.assert_array_equal(b, np.zeros(3))
+        assert retries == 1
+
+    def test_window_stays_consistent_under_faults(self):
+        # Lock/fence semantics: injected Get failures must not leak the
+        # target's exposure lock or the active-origin counters, and
+        # Put/Get traffic after the faults must still be correct.
+        plan = FaultPlan().transient_get_failure(1, count=2).transient_get_failure(
+            2, count=2
+        )
+
+        def prog(comm):
+            local = np.zeros(comm.size)
+            win = Window(comm, local)
+            win.fence()
+            for _ in range(3):
+                win.get(0, slice(None))
+            win.fence()
+            win.put(0, comm.rank, np.array(float(comm.rank + 1)))
+            win.fence()
+            active = list(win._state.active)
+            return local.copy(), active
+
+        res = run_spmd(3, prog, fault_plan=plan)
+        assert res.completed
+        rank0_buffer, active = res.values[0]
+        np.testing.assert_array_equal(rank0_buffer, [1.0, 2.0, 3.0])
+        assert active == [0, 0, 0]
