@@ -18,6 +18,12 @@ Subcommands
     checkpoint, and report recovered-vs-lost virtual time.
 ``machine [name]``
     Print a machine-model calibration sheet (default: cori-knl).
+``engine [--kind K] [--n N] [--p P] [--machine M]``
+    Execution-engine dry run: list the pluggable backends, then
+    enumerate the subproblem plan a fit of the given shape would run —
+    chain/subproblem counts per stage, checkpoint-key patterns, and
+    the estimated floating-point cost (with modeled seconds on the
+    chosen machine) — without solving anything.
 """
 
 from __future__ import annotations
@@ -50,6 +56,7 @@ EXPERIMENTS = {
     "realdata": "§VI — real-data runtime analyses",
     "statcompare": "UoI vs LASSO/CV/MCP/SCAD/Ridge quality",
     "resilience": "fault injection + checkpoint/restart recovery",
+    "engine": "cross-backend bitwise-equivalence demo",
 }
 
 _MACHINES = {"cori-knl": CORI_KNL, "laptop": LAPTOP}
@@ -119,6 +126,28 @@ def _build_parser() -> argparse.ArgumentParser:
     mach.add_argument(
         "name", nargs="?", default="cori-knl", choices=sorted(_MACHINES)
     )
+
+    eng = sub.add_parser(
+        "engine", help="list execution backends and dry-run a subproblem plan"
+    )
+    eng.add_argument(
+        "--kind",
+        choices=["lasso", "var", "both"],
+        default="both",
+        help="which plan(s) to enumerate",
+    )
+    eng.add_argument(
+        "--n", type=int, default=128, help="synthetic sample count (rows)"
+    )
+    eng.add_argument(
+        "--p", type=int, default=16, help="synthetic feature / series count"
+    )
+    eng.add_argument(
+        "--machine",
+        default="cori-knl",
+        choices=sorted(_MACHINES),
+        help="machine model used to convert FLOPs to modeled seconds",
+    )
     return parser
 
 
@@ -161,6 +190,55 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if result.data["bitwise_identical"] else 1
 
 
+def _cmd_engine(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core.config import UoILassoConfig, UoIVarConfig
+    from repro.engine import BACKENDS, LassoPlan, VarPlan
+
+    machine = _MACHINES[args.machine]
+
+    print("execution backends (fit(executor=...) / REPRO_ENGINE_BACKEND)")
+    width = max(len(n) for n in BACKENDS)
+    for name in sorted(BACKENDS):
+        _, desc = BACKENDS[name]
+        print(f"  {name:<{width}}  {desc}")
+    print()
+
+    # The dry run only *enumerates* the plan — nothing is solved — so
+    # the default UoI configurations are fine at any shape.
+    rng = np.random.default_rng(0)
+    plans = []
+    if args.kind in ("lasso", "both"):
+        X = rng.standard_normal((args.n, args.p))
+        y = X @ rng.standard_normal(args.p)
+        plans.append(LassoPlan(UoILassoConfig(), X, y))
+    if args.kind in ("var", "both"):
+        plans.append(VarPlan(UoIVarConfig(), rng.standard_normal((args.n, args.p))))
+
+    for plan in plans:
+        info = plan.describe()
+        flops = plan.estimate_flops()
+        total = sum(flops.values())
+        print(f"plan {info['kind']}  ({info['subproblems']} subproblems)")
+        for stage, s in info["stages"].items():
+            first_key = plan.chains(stage)[0][0].key
+            secs = flops[stage] / (machine.gemm_gflops * 1e9)
+            print(
+                f"  {stage:<10} chains={s['chains']:<3} "
+                f"subproblems={s['subproblems']:<4} "
+                f"keys={first_key},...  "
+                f"~{flops[stage] / 1e9:.3f} GFLOP"
+                f" (~{secs:.3g}s modeled on {machine.name})"
+            )
+        print(
+            f"  {'total':<10} ~{total / 1e9:.3f} GFLOP"
+            f" (~{total / (machine.gemm_gflops * 1e9):.3g}s modeled)"
+        )
+        print()
+    return 0
+
+
 def _cmd_machine(name: str) -> int:
     machine = _MACHINES[name]
     print(f"machine model: {machine.name}")
@@ -184,6 +262,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_faults(args)
     if args.command == "machine":
         return _cmd_machine(args.name)
+    if args.command == "engine":
+        return _cmd_engine(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

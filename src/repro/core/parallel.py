@@ -26,6 +26,18 @@ Tier-1 blocks loaded once at startup.
 layout: one ``(n, 1 + p)`` dataset whose column 0 is the response.
 :func:`distributed_uoi_var` runs Algorithm 2 with the
 distributed-Kronecker construction and a sparse consensus solver.
+
+Both drivers are thin adapters over the execution engine
+(:mod:`repro.engine`): after the data-distribution preamble they build
+a grid-aware :class:`~repro.engine.UoIPlan` (``_DistLassoPlan`` /
+``_DistVarPlan``) whose per-``(k, j)`` subproblems carry the legacy
+checkpoint keys (``sel/k{k}/j{j}``, ``var-est/k{k}/j{j}``, ...), and
+hand it to a :class:`~repro.engine.SimMpiExecutor` bound to the
+:class:`ProcessGrid` — each rank runs only the chains its cell owns,
+checkpointing attaches as a :class:`~repro.resilience.CheckpointHook`,
+and the plan's ``reduce`` performs the world-wide collectives above in
+a fixed order so results stay bitwise identical to the pre-engine
+drivers.
 """
 
 from __future__ import annotations
@@ -45,9 +57,21 @@ from repro.core.estimation import best_support_per_bootstrap
 from repro.core.selection import family_from_counts
 from repro.distribution.kron_dist import DistributedKron
 from repro.distribution.randomized import RandomizedDistributor
+from repro.engine import (
+    SELECTION,
+    SimMpiExecutor,
+    Subproblem,
+    UoIPlan,
+    run_plan,
+)
 from repro.linalg.consensus import consensus_lasso_admm
+from repro.linalg.lambda_grid import lambda_grid_from_max
 from repro.pfs.hdf5 import SimH5File
-from repro.resilience.checkpoint import CheckpointPlan, CheckpointSession
+from repro.resilience.checkpoint import (
+    CheckpointHook,
+    CheckpointPlan,
+    CheckpointSession,
+)
 from repro.simmpi.clock import TimeCategory
 from repro.simmpi.comm import SimComm
 from repro.simmpi.reduce_ops import MIN, SUM
@@ -172,13 +196,6 @@ def _reduce_progress(
     return recovered, completed
 
 
-def _lambda_grid_from_corr(corr_max: float, num: int, eps: float) -> np.ndarray:
-    lmax = 2.0 * corr_max
-    if lmax <= 0:
-        lmax = 1.0
-    return lmax * np.logspace(0.0, np.log10(eps), num=num)
-
-
 def _draw_lasso_bootstraps(
     n: int, config: UoILassoConfig
 ) -> tuple[list[np.ndarray], list[tuple[np.ndarray, np.ndarray]]]:
@@ -192,6 +209,333 @@ def _draw_lasso_bootstraps(
         for _ in range(config.n_estimation_bootstraps)
     ]
     return selection, estimation
+
+
+class _DistUoIPlan(UoIPlan):
+    """Shared engine-plan skeleton of the two distributed drivers.
+
+    One chain per bootstrap, one task per (bootstrap, λ) pair — the
+    legacy checkpoint granularity, with the legacy record keys.  A
+    :class:`~repro.engine.executors.SimMpiExecutor` *bound* to the
+    caller's :class:`ProcessGrid` filters the chains down to this
+    rank's owned work, so ``run_chain``/``reduce`` below run
+    identically on every rank of a cell and may freely use the cell /
+    world collectives — exactly the SPMD structure the legacy loops
+    had, with the orchestration (ownership, lookup, hook dispatch)
+    lifted into the engine.
+
+    Reductions deliberately keep the legacy float-summation grouping
+    (per-rank partial sums combined by ``Allreduce``): regrouping
+    would change the bits of the final coefficients.
+    """
+
+    #: (selection key prefix, estimation key prefix)
+    prefixes = ("sel", "est")
+
+    def __init__(self, comm: SimComm, grid: ProcessGrid) -> None:
+        self.comm = comm
+        self.grid = grid
+        self.family: np.ndarray | None = None
+        self.result: DistributedUoIResult | None = None
+
+    def chains(self, stage):
+        sel_prefix, est_prefix = self.prefixes
+        if stage == SELECTION:
+            nboot, prefix = self.B1, sel_prefix
+        else:
+            nboot, prefix = self.B2, est_prefix
+        return [
+            [
+                Subproblem(stage, k, j, f"{prefix}/k{k}/j{j}", k, j)
+                for j in range(self.q)
+            ]
+            for k in range(nboot)
+        ]
+
+    def finalize(self) -> DistributedUoIResult:
+        if self.result is None:
+            raise RuntimeError("plan has not been reduced yet")
+        return self.result
+
+    # ------------------------------------------------------- reductions
+    def _lasso_config(self) -> UoILassoConfig:
+        raise NotImplementedError
+
+    def reduce(self, stage, results):
+        cfg = self._lasso_config()
+        comm, grid = self.comm, self.grid
+        sel_prefix, est_prefix = self.prefixes
+        ncoef = self.ncoef
+        if stage == SELECTION:
+            # Per-λ selection *counts* (how many bootstraps kept each
+            # feature): SUM-reduced across the grid, then thresholded —
+            # which implements both the paper's strict intersection
+            # (frac = 1) and the soft variant.  Only a cell's rank 0
+            # contributes, so the C consensus copies inside a cell are
+            # not double counted.
+            counts = np.zeros((self.q, ncoef), dtype=np.int64)
+            if grid.cell.rank == 0:
+                for k in range(self.B1):
+                    if not grid.owns_bootstrap(k):
+                        continue
+                    for j in range(self.q):
+                        if not grid.owns_lambda(j):
+                            continue
+                        rec = results[f"{sel_prefix}/k{k}/j{j}"]
+                        counts[j] += rec["beta"] != 0.0
+            counts = comm.allreduce(counts, SUM)
+            self.family = family_from_counts(
+                counts, self.B1, frac=cfg.intersection_frac
+            )
+            return
+
+        losses = np.full((self.B2, self.q), np.inf)
+        kept: dict[tuple[int, int], np.ndarray] = {}
+        for k in range(self.B2):
+            if not grid.owns_bootstrap(k):
+                continue
+            for j in range(self.q):
+                if not grid.owns_lambda(j):
+                    continue
+                rec = results[f"{est_prefix}/k{k}/j{j}"]
+                losses[k, j] = float(rec["loss"])
+                kept[(k, j)] = rec["beta"]
+        losses = comm.allreduce(losses, MIN)
+        winners = best_support_per_bootstrap(losses, rule=cfg.selection_rule)
+
+        # Union average: the owning cell's rank-0 contributes each winner.
+        contrib = np.zeros(ncoef)
+        for k in range(self.B2):
+            j = int(winners[k])
+            if (k, j) in kept and grid.cell.rank == 0:
+                contrib += kept[(k, j)]
+        coef = comm.allreduce(contrib, SUM) / self.B2
+        self.result = DistributedUoIResult(
+            coef=coef, supports=self.family, losses=losses, winners=winners,
+            lambdas=self.lambdas,
+        )
+
+
+class _DistLassoPlan(_DistUoIPlan):
+    """Distributed UoI_LASSO over a randomized (Tier-1/Tier-2) dataset."""
+
+    kind = "uoi_lasso"
+    prefixes = ("sel", "est")
+
+    def __init__(
+        self,
+        comm: SimComm,
+        grid: ProcessGrid,
+        dist: RandomizedDistributor,
+        config: UoILassoConfig,
+        dataset: str,
+        lambdas: np.ndarray,
+        selection_idx,
+        estimation_idx,
+    ) -> None:
+        super().__init__(comm, grid)
+        self.dist = dist
+        self.config = config
+        self.dataset = dataset
+        self.lambdas = lambdas
+        self.selection_idx = selection_idx
+        self.estimation_idx = estimation_idx
+        self.n = dist.n_rows
+        self.p = dist.n_cols - 1
+        self.ncoef = self.p
+        self.q = config.n_lambdas
+        self.B1 = config.n_selection_bootstraps
+        self.B2 = config.n_estimation_bootstraps
+
+    def _lasso_config(self) -> UoILassoConfig:
+        return self.config
+
+    def meta(self) -> dict:
+        cfg = self.config
+        return {
+            "kind": "uoi_lasso",
+            "dataset": self.dataset,
+            "n": self.n,
+            "p": self.p,
+            "q": self.q,
+            "B1": self.B1,
+            "B2": self.B2,
+            "random_state": cfg.random_state,
+            "intersection_frac": cfg.intersection_frac,
+            "pb": self.grid.pb,
+            "plam": self.grid.plam,
+        }
+
+    def run_chain(self, stage, tasks, recovered, emit):
+        cfg = self.config
+        cell = self.grid.cell
+        k = tasks[0].bootstrap
+        if stage == SELECTION:
+            # At least one subproblem to solve: pay the Tier-2 shuffle.
+            rows = self.dist.sample(self.selection_idx[k], subcomm=cell)
+            Xb, yb = rows[:, 1:], rows[:, 0]
+            beta = None
+            for task in tasks:
+                rec = recovered.get(task.key)
+                if rec is not None:
+                    # Recovered solve still seeds the λ-path warm start.
+                    beta = rec["beta"]
+                    continue
+                res = consensus_lasso_admm(
+                    cell,
+                    Xb,
+                    yb,
+                    float(self.lambdas[task.lam_index]),
+                    rho=cfg.rho,
+                    max_iter=cfg.max_iter,
+                    abstol=cfg.abstol,
+                    reltol=cfg.reltol,
+                    adapt_rho=cfg.adapt_rho,
+                    beta0=beta,
+                )
+                beta = res.beta
+                emit(task, {"beta": beta})
+            return
+
+        train_idx, eval_idx = self.estimation_idx[k]
+        train = self.dist.sample(train_idx, subcomm=cell)
+        evaldata = self.dist.sample(eval_idx, subcomm=cell)
+        X_tr, y_tr = train[:, 1:], train[:, 0]
+        X_ev, y_ev = evaldata[:, 1:], evaldata[:, 0]
+        for task in tasks:
+            if task.key in recovered:
+                continue
+            cols = np.flatnonzero(self.family[task.lam_index])
+            beta_full = np.zeros(self.p)
+            if cols.size:
+                res = consensus_lasso_admm(
+                    cell,
+                    X_tr[:, cols],
+                    y_tr,
+                    0.0,
+                    rho=cfg.rho,
+                    max_iter=cfg.max_iter,
+                    abstol=cfg.abstol,
+                    reltol=cfg.reltol,
+                    adapt_rho=cfg.adapt_rho,
+                )
+                beta_full[cols] = res.beta
+            resid = y_ev - X_ev @ beta_full
+            sse_total = cell.allreduce(float(resid @ resid), SUM)
+            emit(
+                task,
+                {"beta": beta_full, "loss": sse_total / max(len(eval_idx), 1)},
+            )
+
+
+class _DistVarPlan(_DistUoIPlan):
+    """Distributed UoI_VAR over the distributed-Kronecker lifted problem."""
+
+    kind = "uoi_var"
+    prefixes = ("var-sel", "var-est")
+
+    def __init__(
+        self,
+        comm: SimComm,
+        grid: ProcessGrid,
+        config: UoIVarConfig,
+        solver_comm: SimComm,
+        lifted_local,
+        dims: tuple[int, int, int],
+        lambdas: np.ndarray,
+        selection_idx,
+        estimation_idx,
+    ) -> None:
+        super().__init__(comm, grid)
+        self.config = config
+        self.solver_comm = solver_comm
+        self.lifted_local = lifted_local
+        self.m, self.p, self.kdim = dims
+        self.ncoef = self.kdim * self.p
+        self.lambdas = lambdas
+        self.selection_idx = selection_idx
+        self.estimation_idx = estimation_idx
+        lcfg = config.lasso
+        self.q = lcfg.n_lambdas
+        self.B1 = lcfg.n_selection_bootstraps
+        self.B2 = lcfg.n_estimation_bootstraps
+
+    def _lasso_config(self) -> UoILassoConfig:
+        return self.config.lasso
+
+    def meta(self) -> dict:
+        cfg, lcfg = self.config, self.config.lasso
+        return {
+            "kind": "uoi_var",
+            "m": self.m,
+            "p": self.p,
+            "kdim": self.kdim,
+            "order": cfg.order,
+            "block_length": cfg.block_length,
+            "q": self.q,
+            "B1": self.B1,
+            "B2": self.B2,
+            "random_state": lcfg.random_state,
+            "intersection_frac": lcfg.intersection_frac,
+            "pb": self.grid.pb,
+            "plam": self.grid.plam,
+        }
+
+    def run_chain(self, stage, tasks, recovered, emit):
+        lcfg = self.config.lasso
+        k = tasks[0].bootstrap
+        if stage == SELECTION:
+            A_loc, b_loc = self.lifted_local(self.selection_idx[k])
+            beta = None
+            for task in tasks:
+                rec = recovered.get(task.key)
+                if rec is not None:
+                    beta = rec["beta"]
+                    continue
+                res = consensus_lasso_admm(
+                    self.solver_comm,
+                    A_loc,
+                    b_loc,
+                    float(self.lambdas[task.lam_index]),
+                    rho=lcfg.rho,
+                    max_iter=lcfg.max_iter,
+                    abstol=lcfg.abstol,
+                    reltol=lcfg.reltol,
+                    adapt_rho=lcfg.adapt_rho,
+                    beta0=beta,
+                )
+                beta = res.beta
+                emit(task, {"beta": beta})
+            return
+
+        train_idx, eval_idx = self.estimation_idx[k]
+        A_tr, b_tr = self.lifted_local(train_idx)
+        A_ev, b_ev = self.lifted_local(eval_idx)
+        n_eval_total = len(eval_idx) * self.p
+        for task in tasks:
+            if task.key in recovered:
+                continue
+            cols = np.flatnonzero(self.family[task.lam_index])
+            beta_full = np.zeros(self.ncoef)
+            if cols.size:
+                res = consensus_lasso_admm(
+                    self.solver_comm,
+                    A_tr[:, cols],
+                    b_tr,
+                    0.0,
+                    rho=lcfg.rho,
+                    max_iter=lcfg.max_iter,
+                    abstol=lcfg.abstol,
+                    reltol=lcfg.reltol,
+                    adapt_rho=lcfg.adapt_rho,
+                )
+                beta_full[cols] = res.beta
+            resid = b_ev - A_ev @ beta_full
+            sse = self.solver_comm.allreduce(float(resid @ resid), SUM)
+            emit(
+                task,
+                {"beta": beta_full, "loss": sse / max(n_eval_total, 1)},
+            )
 
 
 def distributed_uoi_lasso(
@@ -232,147 +576,35 @@ CheckpointPlan`, each cell's rank 0 persists its completed
     n = dist.n_rows
     p = dist.n_cols - 1
     q = config.n_lambdas
-    B1, B2 = config.n_selection_bootstraps, config.n_estimation_bootstraps
 
     # λ grid from the full data: local X'y contributions summed.
     y_loc = dist.tier1[:, 0]
     X_loc = dist.tier1[:, 1:]
     corr = comm.allreduce(X_loc.T @ y_loc, SUM)
-    lambdas = _lambda_grid_from_corr(
-        float(np.max(np.abs(corr))), q, config.lambda_min_ratio
+    lambdas = lambda_grid_from_max(
+        2.0 * float(np.max(np.abs(corr))), num=q, eps=config.lambda_min_ratio
     )
 
     selection_idx, estimation_idx = _draw_lasso_bootstraps(n, config)
 
-    ckpt = CheckpointSession(
+    plan = _DistLassoPlan(
+        comm, grid, dist, config, dataset, lambdas,
+        selection_idx, estimation_idx,
+    )
+    hook = CheckpointHook(
         checkpoint,
         clock=comm.clock,
         machine=comm.machine,
         writer=grid.cell.rank == 0,
     )
-    ckpt.ensure_meta({
-        "kind": "uoi_lasso",
-        "dataset": dataset,
-        "n": n,
-        "p": p,
-        "q": q,
-        "B1": B1,
-        "B2": B2,
-        "random_state": config.random_state,
-        "intersection_frac": config.intersection_frac,
-        "pb": pb,
-        "plam": plam,
-    })
+    result = run_plan(plan, SimMpiExecutor.bound(grid), [hook])
 
-    # ------------------------- model selection -------------------------
-    # Per-λ selection *counts* (how many bootstraps kept each feature):
-    # SUM-reduced across the grid, then thresholded — which implements
-    # both the paper's strict intersection (frac = 1) and the soft
-    # variant.  Only a cell's rank 0 contributes, so the C consensus
-    # copies inside a cell are not double counted.
-    counts = np.zeros((q, p), dtype=np.int64)
-    for k in range(B1):
-        if not grid.owns_bootstrap(k):
-            continue
-        owned = [j for j in range(q) if grid.owns_lambda(j)]
-        cached = {}
-        for j in owned:
-            rec = ckpt.lookup(f"sel/k{k}/j{j}")
-            if rec is not None:
-                cached[j] = rec["beta"]
-        if len(cached) < len(owned):
-            # At least one subproblem to solve: pay the Tier-2 shuffle.
-            rows = dist.sample(selection_idx[k], subcomm=grid.cell)
-            Xb, yb = rows[:, 1:], rows[:, 0]
-        beta = None
-        for j in owned:
-            if j in cached:
-                beta = cached[j]
-            else:
-                res = consensus_lasso_admm(
-                    grid.cell,
-                    Xb,
-                    yb,
-                    float(lambdas[j]),
-                    rho=config.rho,
-                    max_iter=config.max_iter,
-                    abstol=config.abstol,
-                    reltol=config.reltol,
-                    adapt_rho=config.adapt_rho,
-                    beta0=beta,
-                )
-                beta = res.beta
-                ckpt.record(f"sel/k{k}/j{j}", {"beta": beta})
-            if grid.cell.rank == 0:
-                counts[j] += beta != 0.0
-    ckpt.flush()
-    counts = comm.allreduce(counts, SUM)
-    family = family_from_counts(counts, B1, frac=config.intersection_frac)
-
-    # ------------------------- model estimation -------------------------
-    losses = np.full((B2, q), np.inf)
-    kept: dict[tuple[int, int], np.ndarray] = {}
-    for k in range(B2):
-        if not grid.owns_bootstrap(k):
-            continue
-        owned = [j for j in range(q) if grid.owns_lambda(j)]
-        cached = {}
-        for j in owned:
-            rec = ckpt.lookup(f"est/k{k}/j{j}")
-            if rec is not None:
-                cached[j] = (rec["beta"], float(rec["loss"]))
-        train_idx, eval_idx = estimation_idx[k]
-        if len(cached) < len(owned):
-            train = dist.sample(train_idx, subcomm=grid.cell)
-            evaldata = dist.sample(eval_idx, subcomm=grid.cell)
-            X_tr, y_tr = train[:, 1:], train[:, 0]
-            X_ev, y_ev = evaldata[:, 1:], evaldata[:, 0]
-        for j in owned:
-            if j in cached:
-                beta_full, loss = cached[j]
-                losses[k, j] = loss
-                kept[(k, j)] = beta_full
-                continue
-            cols = np.flatnonzero(family[j])
-            beta_full = np.zeros(p)
-            if cols.size:
-                res = consensus_lasso_admm(
-                    grid.cell,
-                    X_tr[:, cols],
-                    y_tr,
-                    0.0,
-                    rho=config.rho,
-                    max_iter=config.max_iter,
-                    abstol=config.abstol,
-                    reltol=config.reltol,
-                    adapt_rho=config.adapt_rho,
-                )
-                beta_full[cols] = res.beta
-            resid = y_ev - X_ev @ beta_full
-            sse_total = grid.cell.allreduce(float(resid @ resid), SUM)
-            losses[k, j] = sse_total / max(len(eval_idx), 1)
-            kept[(k, j)] = beta_full
-            ckpt.record(f"est/k{k}/j{j}", {"beta": beta_full, "loss": losses[k, j]})
-    ckpt.flush()
-    losses = comm.allreduce(losses, MIN)
-    winners = best_support_per_bootstrap(losses, rule=config.selection_rule)
-
-    # Union average: the owning cell's rank-0 contributes each winner.
-    contrib = np.zeros(p)
-    for k in range(B2):
-        j = int(winners[k])
-        if (k, j) in kept and grid.cell.rank == 0:
-            contrib += kept[(k, j)]
-    coef = comm.allreduce(contrib, SUM) / B2
-
-    recovered, completed = _reduce_progress(comm, grid, ckpt)
+    recovered, completed = _reduce_progress(comm, grid, hook.session)
 
     dist.close()
-    return DistributedUoIResult(
-        coef=coef, supports=family, losses=losses, winners=winners,
-        lambdas=lambdas,
-        recovered_subproblems=recovered, completed_subproblems=completed,
-    )
+    result.recovered_subproblems = recovered
+    result.completed_subproblems = completed
+    return result
 
 
 def distributed_uoi_var(
@@ -437,7 +669,9 @@ def distributed_uoi_var(
     is_reader = (grid.cell.rank < cell_readers) if gridded else is_world_reader
     q = lcfg.n_lambdas
     B1, B2 = lcfg.n_selection_bootstraps, lcfg.n_estimation_bootstraps
-    lambdas = _lambda_grid_from_corr(lmax_corr, q, lcfg.lambda_min_ratio)
+    lambdas = lambda_grid_from_max(
+        2.0 * lmax_corr, num=q, eps=lcfg.lambda_min_ratio
+    )
 
     rng = np.random.default_rng(lcfg.random_state)
     selection_idx = [
@@ -454,28 +688,6 @@ def distributed_uoi_var(
     solver_comm = grid.cell if gridded else comm
     kron_readers = cell_readers if gridded else n_readers
 
-    ckpt = CheckpointSession(
-        checkpoint,
-        clock=comm.clock,
-        machine=comm.machine,
-        writer=grid.cell.rank == 0,
-    )
-    ckpt.ensure_meta({
-        "kind": "uoi_var",
-        "m": m,
-        "p": p,
-        "kdim": kdim,
-        "order": config.order,
-        "block_length": config.block_length,
-        "q": q,
-        "B1": B1,
-        "B2": B2,
-        "random_state": lcfg.random_state,
-        "intersection_frac": lcfg.intersection_frac,
-        "pb": pb,
-        "plam": plam,
-    })
-
     def lifted_local(idx: np.ndarray):
         """Distributed-Kronecker assembly of the lifted slice for rows idx."""
         if is_reader:
@@ -488,112 +700,23 @@ def distributed_uoi_var(
         dk.close()
         return A_loc, b_loc
 
-    # ------------------------- model selection -------------------------
-    # Selection counts are SUM-reduced per λ; each cell contributes its
-    # owned (bootstrap, λ) pairs through its rank 0 only, so the C
-    # identical consensus copies inside a cell are not double counted
-    # (ungridded, the single cell spans the world and world rank 0
-    # contributes everything).
-    counts = np.zeros((q, kdim * p), dtype=np.int64)
-    for k in range(B1):
-        if not grid.owns_bootstrap(k):
-            continue
-        owned = [j for j in range(q) if grid.owns_lambda(j)]
-        cached = {}
-        for j in owned:
-            rec = ckpt.lookup(f"var-sel/k{k}/j{j}")
-            if rec is not None:
-                cached[j] = rec["beta"]
-        if len(cached) < len(owned):
-            A_loc, b_loc = lifted_local(selection_idx[k])
-        beta = None
-        for j in owned:
-            if j in cached:
-                beta = cached[j]
-            else:
-                res = consensus_lasso_admm(
-                    solver_comm,
-                    A_loc,
-                    b_loc,
-                    float(lambdas[j]),
-                    rho=lcfg.rho,
-                    max_iter=lcfg.max_iter,
-                    abstol=lcfg.abstol,
-                    reltol=lcfg.reltol,
-                    adapt_rho=lcfg.adapt_rho,
-                    beta0=beta,
-                )
-                beta = res.beta
-                ckpt.record(f"var-sel/k{k}/j{j}", {"beta": beta})
-            if grid.cell.rank == 0:
-                counts[j] += beta != 0.0
-    ckpt.flush()
-    counts = comm.allreduce(counts, SUM)
-    family = family_from_counts(counts, B1, frac=lcfg.intersection_frac)
-
-    # ------------------------- model estimation -------------------------
-    losses = np.full((B2, q), np.inf)
-    kept: dict[tuple[int, int], np.ndarray] = {}
-    for k in range(B2):
-        if not grid.owns_bootstrap(k):
-            continue
-        owned = [j for j in range(q) if grid.owns_lambda(j)]
-        cached = {}
-        for j in owned:
-            rec = ckpt.lookup(f"var-est/k{k}/j{j}")
-            if rec is not None:
-                cached[j] = (rec["beta"], float(rec["loss"]))
-        train_idx, eval_idx = estimation_idx[k]
-        if len(cached) < len(owned):
-            A_tr, b_tr = lifted_local(train_idx)
-            A_ev, b_ev = lifted_local(eval_idx)
-        n_eval_total = len(eval_idx) * p
-        for j in owned:
-            if j in cached:
-                beta_full, loss = cached[j]
-                losses[k, j] = loss
-                kept[(k, j)] = beta_full
-                continue
-            cols = np.flatnonzero(family[j])
-            beta_full = np.zeros(kdim * p)
-            if cols.size:
-                res = consensus_lasso_admm(
-                    solver_comm,
-                    A_tr[:, cols],
-                    b_tr,
-                    0.0,
-                    rho=lcfg.rho,
-                    max_iter=lcfg.max_iter,
-                    abstol=lcfg.abstol,
-                    reltol=lcfg.reltol,
-                    adapt_rho=lcfg.adapt_rho,
-                )
-                beta_full[cols] = res.beta
-            resid = b_ev - A_ev @ beta_full
-            sse = solver_comm.allreduce(float(resid @ resid), SUM)
-            losses[k, j] = sse / max(n_eval_total, 1)
-            kept[(k, j)] = beta_full
-            ckpt.record(
-                f"var-est/k{k}/j{j}", {"beta": beta_full, "loss": losses[k, j]}
-            )
-    ckpt.flush()
-    losses = comm.allreduce(losses, MIN)
-    winners = best_support_per_bootstrap(losses, rule=lcfg.selection_rule)
-
-    contrib = np.zeros(kdim * p)
-    for k in range(B2):
-        j = int(winners[k])
-        if (k, j) in kept and grid.cell.rank == 0:
-            contrib += kept[(k, j)]
-    coef = comm.allreduce(contrib, SUM) / B2
-
-    recovered, completed = _reduce_progress(comm, grid, ckpt)
-
-    return DistributedUoIResult(
-        coef=coef, supports=family, losses=losses, winners=winners,
-        lambdas=lambdas,
-        recovered_subproblems=recovered, completed_subproblems=completed,
+    plan = _DistVarPlan(
+        comm, grid, config, solver_comm, lifted_local, (m, p, kdim),
+        lambdas, selection_idx, estimation_idx,
     )
+    hook = CheckpointHook(
+        checkpoint,
+        clock=comm.clock,
+        machine=comm.machine,
+        writer=grid.cell.rank == 0,
+    )
+    result = run_plan(plan, SimMpiExecutor.bound(grid), [hook])
+
+    recovered, completed = _reduce_progress(comm, grid, hook.session)
+
+    result.recovered_subproblems = recovered
+    result.completed_subproblems = completed
+    return result
 
 
 def distributed_cv_lasso(
@@ -637,8 +760,8 @@ def distributed_cv_lasso(
     y_loc = dist.tier1[:, 0]
     X_loc = dist.tier1[:, 1:]
     corr = comm.allreduce(X_loc.T @ y_loc, SUM)
-    lambdas = _lambda_grid_from_corr(
-        float(np.max(np.abs(corr))), n_lambdas, lambda_min_ratio
+    lambdas = lambda_grid_from_max(
+        2.0 * float(np.max(np.abs(corr))), num=n_lambdas, eps=lambda_min_ratio
     )
 
     losses = np.empty((k, n_lambdas))

@@ -9,27 +9,21 @@ Two Map-Solve-Reduce stages:
   candidate support on the training resample, scored on the held-out
   rows; the per-bootstrap winners averaged into the final model.
 
-This serial implementation is the numerical reference the distributed
-driver (:mod:`repro.core.parallel`) is tested against.
+This estimator is a thin adapter over the execution engine: the run
+is described by :class:`repro.engine.plans.LassoPlan` (which carries
+the numerics) and executed by a pluggable backend — serial by
+default, or multiprocess/simulated-MPI via ``fit(executor=...)`` /
+``REPRO_ENGINE_BACKEND``.  Every backend is bitwise-identical to the
+serial reference, which remains what the distributed driver
+(:mod:`repro.core.parallel`) is tested against.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.bootstrap import bootstrap_train_eval, iid_bootstrap
 from repro.core.config import UoILassoConfig
-from repro.core.estimation import (
-    best_support_per_bootstrap,
-    prediction_loss,
-    union_average,
-)
-from repro.core.selection import support_family
-from repro.linalg.admm import LassoADMM
-from repro.linalg.cd import lasso_cd
-from repro.linalg.lambda_grid import lambda_grid
-from repro.linalg.ols import ols_on_support
-from repro.resilience.checkpoint import CheckpointPlan, CheckpointSession
+from repro.resilience.checkpoint import CheckpointHook, CheckpointPlan
 
 __all__ = ["UoILasso"]
 
@@ -76,152 +70,51 @@ class UoILasso:
         self.completed_subproblems_: int = 0
 
     # ------------------------------------------------------------------
-    def _solve_path(
-        self, X: np.ndarray, y: np.ndarray, lambdas: np.ndarray
-    ) -> np.ndarray:
-        """LASSO estimates for all λ on one bootstrap sample: ``(q, p)``."""
-        cfg = self.config
-        q, p = len(lambdas), X.shape[1]
-        out = np.empty((q, p))
-        if cfg.solver == "admm":
-            solver = LassoADMM(
-                X,
-                y,
-                rho=cfg.rho,
-                max_iter=cfg.max_iter,
-                abstol=cfg.abstol,
-                reltol=cfg.reltol,
-                adapt_rho=cfg.adapt_rho,
-            )
-            beta = None
-            for j, lam in enumerate(lambdas):
-                res = solver.solve(float(lam), beta0=beta)
-                beta = res.beta
-                out[j] = beta
-        else:
-            beta = None
-            for j, lam in enumerate(lambdas):
-                beta = lasso_cd(
-                    X, y, float(lam), beta0=beta, max_iter=cfg.max_iter,
-                    tol=cfg.cd_tol,
-                )
-                out[j] = beta
-        return out
-
-    def _estimate_family(
-        self,
-        X_train: np.ndarray,
-        y_train: np.ndarray,
-        family: np.ndarray,
-    ) -> np.ndarray:
-        """Per-support OLS with caching of duplicate supports."""
-        q, p = family.shape
-        out = np.zeros((q, p))
-        cache: dict[bytes, np.ndarray] = {}
-        for j in range(q):
-            key = np.packbits(family[j]).tobytes()
-            if key not in cache:
-                cache[key] = ols_on_support(X_train, y_train, family[j])
-            out[j] = cache[key]
-        return out
-
-    # ------------------------------------------------------------------
     def fit(
         self,
         X: np.ndarray,
         y: np.ndarray,
         *,
         checkpoint: CheckpointPlan | None = None,
+        executor=None,
     ) -> "UoILasso":
         """Run selection + estimation on ``(X, y)``; returns ``self``.
 
-        ``checkpoint=`` persists each completed bootstrap (the full
-        ``(q, p)`` λ path in selection; the estimates and loss row in
-        estimation) so an interrupted fit rerun against the same store
-        resumes bitwise-identically: the RNG stream is always advanced
-        — bootstrap draws are replayed even for recovered records — so
-        later draws match the uninterrupted run exactly.  Counters land
-        on ``recovered_subproblems_`` / ``completed_subproblems_``.
+        ``checkpoint=`` attaches a
+        :class:`~repro.resilience.checkpoint.CheckpointHook` that
+        persists each completed bootstrap (the full ``(q, p)`` λ path
+        in selection; the estimates and loss row in estimation) so an
+        interrupted fit rerun against the same store resumes
+        bitwise-identically — all bootstrap draws are made up front
+        from the shared ``random_state``, so recovered and solved runs
+        share one RNG stream.  Counters land on
+        ``recovered_subproblems_`` / ``completed_subproblems_``.
+
+        ``executor=`` selects the engine backend (an
+        :class:`~repro.engine.executors.Executor`); ``None`` uses
+        :func:`repro.engine.default_executor` — serial unless
+        ``REPRO_ENGINE_BACKEND`` says otherwise.  Results are
+        bitwise-identical across backends.
         """
-        X = np.asarray(X, dtype=float)
-        y = np.asarray(y, dtype=float)
-        if X.ndim != 2:
-            raise ValueError(f"X must be 2-D, got shape {X.shape}")
-        n, p = X.shape
-        if y.shape != (n,):
-            raise ValueError(f"y shape {y.shape} incompatible with X {X.shape}")
-        cfg = self.config
+        # Imported here, not at module top: the engine's plans import
+        # repro.core's stage kernels, so a module-level import would
+        # close a package cycle.
+        from repro.engine import LassoPlan, default_executor, run_plan
 
-        x_mean = X.mean(axis=0) if cfg.fit_intercept else np.zeros(p)
-        y_mean = float(y.mean()) if cfg.fit_intercept else 0.0
-        Xc = X - x_mean
-        yc = y - y_mean
-
-        lambdas = lambda_grid(
-            Xc, yc, num=cfg.n_lambdas, eps=cfg.lambda_min_ratio
+        plan = LassoPlan(self.config, X, y)
+        hook = CheckpointHook(checkpoint)
+        out = run_plan(
+            plan, executor if executor is not None else default_executor(), [hook]
         )
-        rng = np.random.default_rng(cfg.random_state)
 
-        ckpt = CheckpointSession(checkpoint)
-        ckpt.ensure_meta({
-            "kind": "serial_uoi_lasso",
-            "n": n,
-            "p": p,
-            "q": cfg.n_lambdas,
-            "B1": cfg.n_selection_bootstraps,
-            "B2": cfg.n_estimation_bootstraps,
-            "random_state": cfg.random_state,
-            "intersection_frac": cfg.intersection_frac,
-        })
-
-        # -------------------- model selection --------------------
-        B1, q = cfg.n_selection_bootstraps, cfg.n_lambdas
-        betas = np.empty((B1, q, p))
-        for k in range(B1):
-            # Draw even when recovering, to keep the RNG stream aligned
-            # with an uninterrupted run.
-            idx = iid_bootstrap(n, rng)
-            rec = ckpt.lookup(f"serial-sel/k{k}")
-            if rec is not None:
-                betas[k] = rec["betas"]
-            else:
-                betas[k] = self._solve_path(Xc[idx], yc[idx], lambdas)
-                ckpt.record(f"serial-sel/k{k}", {"betas": betas[k]})
-        ckpt.flush()
-        family = support_family(betas, frac=cfg.intersection_frac)
-
-        # -------------------- model estimation --------------------
-        B2 = cfg.n_estimation_bootstraps
-        losses = np.empty((B2, q))
-        estimates = np.empty((B2, q, p))
-        for k in range(B2):
-            train_idx, eval_idx = bootstrap_train_eval(
-                n, rng, train_frac=cfg.train_frac
-            )
-            rec = ckpt.lookup(f"serial-est/k{k}")
-            if rec is not None:
-                estimates[k] = rec["estimates"]
-                losses[k] = rec["losses"]
-                continue
-            est = self._estimate_family(Xc[train_idx], yc[train_idx], family)
-            estimates[k] = est
-            for j in range(q):
-                losses[k, j] = prediction_loss(Xc[eval_idx], yc[eval_idx], est[j])
-            ckpt.record(
-                f"serial-est/k{k}", {"estimates": est, "losses": losses[k]}
-            )
-        ckpt.flush()
-        winners = best_support_per_bootstrap(losses, rule=cfg.selection_rule)
-        coef = union_average(estimates[np.arange(B2), winners])
-
-        self.coef_ = coef
-        self.intercept_ = y_mean - float(x_mean @ coef)
-        self.lambdas_ = lambdas
-        self.supports_ = family
-        self.losses_ = losses
-        self.winners_ = winners
-        self.recovered_subproblems_ = ckpt.recovered
-        self.completed_subproblems_ = ckpt.completed
+        self.coef_ = out.coef
+        self.intercept_ = plan.y_mean - float(plan.x_mean @ out.coef)
+        self.lambdas_ = out.lambdas
+        self.supports_ = out.supports
+        self.losses_ = out.losses
+        self.winners_ = out.winners
+        self.recovered_subproblems_ = hook.recovered
+        self.completed_subproblems_ = hook.completed
         return self
 
     # ------------------------------------------------------------------

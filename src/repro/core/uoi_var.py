@@ -17,28 +17,25 @@ UoI_LASSO adapted to VAR(d) inference:
 
 Because the lifted design is block diagonal, the λ-path solves
 decompose exactly into one LASSO per output column
-(:func:`repro.linalg.kron.kron_lasso_columnwise`); this serial
-implementation exploits that, while the distributed driver can also
-run the materialized lifted problem through the distributed Kronecker
-path — tests pin the two to the same answer.
+(:func:`repro.linalg.kron.kron_lasso_columnwise`); the local plan
+(:class:`repro.engine.plans.VarPlan`, which this estimator adapts)
+exploits that, while the distributed driver can also run the
+materialized lifted problem through the distributed Kronecker path —
+tests pin the two to the same answer.  Like :class:`UoILasso`, the
+fit runs on a pluggable engine backend (``fit(executor=...)``) with
+bitwise-identical results on every backend.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.bootstrap import block_train_eval, circular_block_bootstrap
 from repro.core.config import UoIVarConfig
-from repro.core.estimation import best_support_per_bootstrap, union_average
-from repro.core.selection import intersect_supports
-from repro.linalg.admm import LassoADMM
-from repro.linalg.cd import lasso_cd, precompute_gram
-from repro.linalg.ols import ols_on_support
-from repro.resilience.checkpoint import CheckpointPlan, CheckpointSession
+from repro.resilience.checkpoint import CheckpointHook, CheckpointPlan
 from repro.var.diagnostics import diagnose
 from repro.var.forecast import forecast, forecast_intervals
 from repro.var.granger import granger_digraph, network_summary
-from repro.var.lag import build_lag_matrices, partition_coefficients
+from repro.var.lag import partition_coefficients
 
 __all__ = ["UoIVar"]
 
@@ -93,188 +90,53 @@ class UoIVar:
         self._kdim: int | None = None
 
     # ------------------------------------------------------------------
-    def _lambda_grid(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
-        """λ grid anchored at the lifted problem's ``λ_max``.
-
-        ``λ_max = 2 max |(I ⊗ X)' vec Y| = 2 max_c max_j |x_j' Y[:, c]|``.
-        """
-        cfg = self.config.lasso
-        lmax = 2.0 * float(np.max(np.abs(X.T @ Y)))
-        if lmax <= 0:
-            lmax = 1.0
-        return lmax * np.logspace(
-            0.0, np.log10(cfg.lambda_min_ratio), num=cfg.n_lambdas
-        )
-
-    def _solve_path_columns(
-        self, X: np.ndarray, Y: np.ndarray, lambdas: np.ndarray
-    ) -> np.ndarray:
-        """Lifted λ-path via exact column decomposition: ``(q, kdim * p)``.
-
-        Column ``c``'s coefficients occupy the slice
-        ``[c * kdim, (c+1) * kdim)`` of ``vec B``.
-        """
-        cfg = self.config.lasso
-        q = len(lambdas)
-        kdim, p = X.shape[1], Y.shape[1]
-        out = np.empty((q, kdim * p))
-        solver = None
-        gram_cache = None
-        if cfg.solver == "cd":
-            # Covariance-update CD: one X'X per bootstrap serves every
-            # column and penalty (the cd analogue of the shared ADMM
-            # factorization).
-            gram, _, col_sq = precompute_gram(X)
-            gram_cache = (gram, col_sq)
-        if cfg.solver == "admm":
-            # One factorization serves every output column: the Gram
-            # depends on X alone (see LassoADMM.set_response).
-            solver = LassoADMM(
-                X,
-                Y[:, 0],
-                rho=cfg.rho,
-                max_iter=cfg.max_iter,
-                abstol=cfg.abstol,
-                reltol=cfg.reltol,
-                adapt_rho=cfg.adapt_rho,
-            )
-        for c in range(p):
-            yc = Y[:, c]
-            beta = None
-            if cfg.solver == "admm":
-                solver.set_response(yc)
-                for j, lam in enumerate(lambdas):
-                    res = solver.solve(float(lam), beta0=beta)
-                    beta = res.beta
-                    out[j, c * kdim : (c + 1) * kdim] = beta
-            else:
-                triple = (gram_cache[0], X.T @ yc, gram_cache[1])
-                for j, lam in enumerate(lambdas):
-                    beta = lasso_cd(
-                        X, yc, float(lam), beta0=beta,
-                        max_iter=cfg.max_iter, tol=cfg.cd_tol,
-                        precomputed=triple,
-                    )
-                    out[j, c * kdim : (c + 1) * kdim] = beta
-        return out
-
-    def _ols_family_columns(
-        self, X: np.ndarray, Y: np.ndarray, family: np.ndarray
-    ) -> np.ndarray:
-        """Per-support OLS on the lifted problem, column-decomposed."""
-        q = family.shape[0]
-        kdim, p = X.shape[1], Y.shape[1]
-        out = np.zeros((q, kdim * p))
-        cache: dict[bytes, np.ndarray] = {}
-        for j in range(q):
-            for c in range(p):
-                mask = family[j, c * kdim : (c + 1) * kdim]
-                key = bytes([c]) + np.packbits(mask).tobytes()
-                if key not in cache:
-                    cache[key] = ols_on_support(X, Y[:, c], mask)
-                out[j, c * kdim : (c + 1) * kdim] = cache[key]
-        return out
-
-    @staticmethod
-    def _lifted_loss(X: np.ndarray, Y: np.ndarray, vec_beta: np.ndarray) -> float:
-        """Mean squared error of ``vec B`` over all output columns."""
-        kdim, p = X.shape[1], Y.shape[1]
-        B = vec_beta.reshape((kdim, p), order="F")
-        resid = Y - X @ B
-        return float((resid**2).sum() / max(resid.size, 1))
-
-    # ------------------------------------------------------------------
     def fit(
         self,
         series: np.ndarray,
         *,
         checkpoint: CheckpointPlan | None = None,
+        executor=None,
     ) -> "UoIVar":
         """Infer the VAR(d) model from an ``(N, p)`` series; returns ``self``.
 
-        ``checkpoint=`` persists completed bootstraps (support masks in
-        selection, estimates + loss rows in estimation) for
-        bitwise-identical resume; block-bootstrap draws are always
-        replayed so the RNG stream matches an uninterrupted run.
+        ``checkpoint=`` attaches a
+        :class:`~repro.resilience.checkpoint.CheckpointHook` that
+        persists completed bootstraps (support masks in selection,
+        estimates + loss rows in estimation) for bitwise-identical
+        resume; all block-bootstrap draws are made up front from the
+        shared ``random_state`` so recovered and solved runs share one
+        RNG stream.
+
+        ``executor=`` selects the engine backend as in
+        :meth:`repro.core.uoi_lasso.UoILasso.fit`; every backend
+        produces bitwise the same coefficients.
         """
+        # Imported here, not at module top: the engine's plans import
+        # repro.core's stage kernels, so a module-level import would
+        # close a package cycle.
+        from repro.engine import VarPlan, default_executor, run_plan
+
         cfg = self.config
-        lcfg = cfg.lasso
-        Y, X = build_lag_matrices(
-            series, cfg.order, add_intercept=cfg.fit_intercept
+        plan = VarPlan(cfg, series)
+        self._p, self._kdim = plan.p, plan.kdim
+        hook = CheckpointHook(checkpoint)
+        out = run_plan(
+            plan, executor if executor is not None else default_executor(), [hook]
         )
-        m, p = Y.shape
-        kdim = X.shape[1]
-        self._p, self._kdim = p, kdim
-        lambdas = self._lambda_grid(X, Y)
-        rng = np.random.default_rng(lcfg.random_state)
-        L = cfg.block_length
 
-        ckpt = CheckpointSession(checkpoint)
-        ckpt.ensure_meta({
-            "kind": "serial_uoi_var",
-            "m": m,
-            "p": p,
-            "kdim": kdim,
-            "order": cfg.order,
-            "block_length": cfg.block_length,
-            "q": lcfg.n_lambdas,
-            "B1": lcfg.n_selection_bootstraps,
-            "B2": lcfg.n_estimation_bootstraps,
-            "random_state": lcfg.random_state,
-            "intersection_frac": lcfg.intersection_frac,
-        })
-
-        # -------------------- model selection --------------------
-        B1, q = lcfg.n_selection_bootstraps, lcfg.n_lambdas
-        masks = np.empty((B1, q, kdim * p), dtype=bool)
-        for k in range(B1):
-            idx = circular_block_bootstrap(m, rng, block_length=L)
-            rec = ckpt.lookup(f"serial-var-sel/k{k}")
-            if rec is not None:
-                masks[k] = rec["masks"]
-            else:
-                betas = self._solve_path_columns(X[idx], Y[idx], lambdas)
-                masks[k] = betas != 0.0
-                ckpt.record(f"serial-var-sel/k{k}", {"masks": masks[k]})
-        ckpt.flush()
-        family = intersect_supports(masks, frac=lcfg.intersection_frac)
-
-        # -------------------- model estimation --------------------
-        B2 = lcfg.n_estimation_bootstraps
-        losses = np.empty((B2, q))
-        estimates = np.empty((B2, q, kdim * p))
-        for k in range(B2):
-            train_idx, eval_idx = block_train_eval(
-                m, rng, block_length=L, train_frac=lcfg.train_frac
-            )
-            rec = ckpt.lookup(f"serial-var-est/k{k}")
-            if rec is not None:
-                estimates[k] = rec["estimates"]
-                losses[k] = rec["losses"]
-                continue
-            est = self._ols_family_columns(X[train_idx], Y[train_idx], family)
-            estimates[k] = est
-            for j in range(q):
-                losses[k, j] = self._lifted_loss(X[eval_idx], Y[eval_idx], est[j])
-            ckpt.record(
-                f"serial-var-est/k{k}", {"estimates": est, "losses": losses[k]}
-            )
-        ckpt.flush()
-        winners = best_support_per_bootstrap(losses, rule=lcfg.selection_rule)
-        vec_coef = union_average(estimates[np.arange(B2), winners])
-
+        vec_coef = out.coef
         coefs, mu = partition_coefficients(
-            vec_coef, p, cfg.order, has_intercept=cfg.fit_intercept
+            vec_coef, plan.p, cfg.order, has_intercept=cfg.fit_intercept
         )
         self.coefs_ = coefs
         self.intercept_ = mu
         self.vec_coef_ = vec_coef
-        self.lambdas_ = lambdas
-        self.supports_ = family
-        self.losses_ = losses
-        self.winners_ = winners
-        self.recovered_subproblems_ = ckpt.recovered
-        self.completed_subproblems_ = ckpt.completed
+        self.lambdas_ = out.lambdas
+        self.supports_ = out.supports
+        self.losses_ = out.losses
+        self.winners_ = out.winners
+        self.recovered_subproblems_ = hook.recovered
+        self.completed_subproblems_ = hook.completed
         return self
 
     # ------------------------------------------------------------------

@@ -27,7 +27,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse
 
-from repro.distribution.kron_dist import lifted_coords, lifted_row_block
+from repro.distribution.kron_dist import lifted_row_block
 from repro.simmpi import timing
 from repro.simmpi.clock import TimeCategory
 from repro.simmpi.comm import SimComm

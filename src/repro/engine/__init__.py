@@ -1,0 +1,107 @@
+"""Backend-pluggable execution engine for UoI runs (``repro.engine``).
+
+The four UoI entry points — :class:`repro.core.UoILasso`,
+:class:`repro.core.UoIVar`, and the distributed drivers in
+:mod:`repro.core.parallel` — are thin adapters over this layer:
+
+* :mod:`repro.engine.plan` — :class:`UoIPlan`: a run as enumerable,
+  typed :class:`Subproblem` tasks with dependency chains.
+* :mod:`repro.engine.plans` — :class:`LassoPlan` / :class:`VarPlan`,
+  the concrete local plans (exact legacy serial numerics).
+* :mod:`repro.engine.executors` — :class:`SerialExecutor`,
+  :class:`MultiprocessExecutor`, :class:`SimMpiExecutor`, and the
+  :func:`run_plan` driver loop.
+* :mod:`repro.engine.hooks` — :class:`EngineHook` observers
+  (checkpointing lives in :mod:`repro.resilience.checkpoint` as
+  :class:`~repro.resilience.checkpoint.CheckpointHook`).
+
+Backend selection: pass ``executor=`` to the estimators, or set the
+``REPRO_ENGINE_BACKEND`` environment variable (``serial`` |
+``multiprocess`` | ``simmpi``) to change the process-wide default —
+that is how CI runs the whole suite on the multiprocess backend.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.engine.plan import (
+    ESTIMATION,
+    SELECTION,
+    PlanOutputs,
+    Subproblem,
+    UoIPlan,
+)
+from repro.engine.hooks import EngineHook, HookList, ProgressHook, RecordingHook
+from repro.engine.executors import (
+    Executor,
+    MultiprocessExecutor,
+    SerialExecutor,
+    SimMpiExecutor,
+    annotate_failure,
+    run_plan,
+)
+from repro.engine.plans import LassoPlan, VarPlan
+
+__all__ = [
+    "SELECTION",
+    "ESTIMATION",
+    "Subproblem",
+    "PlanOutputs",
+    "UoIPlan",
+    "EngineHook",
+    "HookList",
+    "RecordingHook",
+    "ProgressHook",
+    "Executor",
+    "SerialExecutor",
+    "MultiprocessExecutor",
+    "SimMpiExecutor",
+    "LassoPlan",
+    "VarPlan",
+    "run_plan",
+    "annotate_failure",
+    "BACKENDS",
+    "make_executor",
+    "default_executor",
+]
+
+#: Backend name -> (factory, one-line description) for CLI listings.
+BACKENDS = {
+    "serial": (
+        SerialExecutor,
+        "in-order, in-process execution (the numerical reference)",
+    ),
+    "multiprocess": (
+        MultiprocessExecutor,
+        "process-pool fan-out over local cores (bitwise-identical)",
+    ),
+    "simmpi": (
+        SimMpiExecutor,
+        "simulated MPI ranks with modeled time (standalone or bound)",
+    ),
+}
+
+
+def make_executor(name: str, **kwargs) -> Executor:
+    """Executor instance for a backend name (see :data:`BACKENDS`)."""
+    try:
+        factory, _ = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine backend {name!r}; choose from {sorted(BACKENDS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def default_executor() -> Executor:
+    """The process-wide default backend.
+
+    ``REPRO_ENGINE_BACKEND`` selects it (CI's second matrix entry sets
+    ``multiprocess`` to run the whole suite off the reference
+    backend); unset or empty means serial.
+    """
+    name = os.environ.get("REPRO_ENGINE_BACKEND", "").strip().lower()
+    if not name:
+        return SerialExecutor()
+    return make_executor(name)

@@ -1,0 +1,429 @@
+"""Pluggable execution backends for :class:`~repro.engine.plan.UoIPlan`.
+
+Three backends consume the same plan:
+
+* :class:`SerialExecutor` — chains run in order on the calling thread;
+  the numerical reference every other backend is pinned against.
+* :class:`MultiprocessExecutor` — chains fan out over a
+  ``ProcessPoolExecutor`` for real multi-core speedup on local
+  hardware.  Because plans are pure (all randomness pre-drawn, chains
+  independent), the results are bitwise identical to serial: the same
+  float operations run, merely elsewhere.
+* :class:`SimMpiExecutor` — chains run on simulated MPI ranks
+  (:func:`repro.simmpi.executor.run_spmd`).  Standalone it
+  round-robins chains over a fresh simulated world; *bound* (via
+  :meth:`SimMpiExecutor.bound`) it becomes the per-rank engine inside
+  an existing SPMD program, filtering tasks by the caller's
+  P_B x P_lambda :class:`~repro.core.parallel.ProcessGrid` — this is
+  how the legacy distributed drivers run on the engine without
+  changing a single collective.
+
+Failure attribution: any exception escaping a chain or a reduction is
+annotated (PEP 678 ``add_note``) with the backend name and the plan
+position (stage + subproblem keys) before it propagates, so
+``SpmdError``/``failed_ranks`` reports say *which* subproblem on
+*which* backend died.
+
+:func:`run_plan` is the driver loop shared by every entry point:
+stage → hooks' ``on_stage_end`` (checkpoint flush) → stage reduction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.engine.hooks import EngineHook, HookList
+from repro.engine.plan import Subproblem, UoIPlan
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "MultiprocessExecutor",
+    "SimMpiExecutor",
+    "run_plan",
+    "annotate_failure",
+]
+
+
+def annotate_failure(
+    exc: BaseException,
+    backend: str,
+    stage: str,
+    tasks: list[Subproblem] | None = None,
+) -> BaseException:
+    """Attach engine context to an exception (PEP 678 note).
+
+    The note names the executing backend and the plan position —
+    stage plus the subproblem keys of the failing chain — so aggregated
+    reports (:class:`~repro.simmpi.executor.SpmdError`,
+    ``failed_ranks``) identify exactly which subproblem died where.
+    """
+    where = f"engine backend={backend} stage={stage}"
+    if tasks:
+        keys = ", ".join(t.key for t in tasks)
+        where += f" subproblems [{keys}]"
+    try:
+        exc.add_note(where)
+    except Exception:  # pragma: no cover - non-standard exception types
+        pass
+    return exc
+
+
+class Executor:
+    """Backend interface: run one stage of a plan under the hooks.
+
+    ``run_stage`` must honor the engine contract: chain order inside a
+    chain, ``lookup`` before solving, ``on_subproblem_done`` exactly
+    once per task, and a returned ``{key: payload}`` table covering
+    every task the backend is responsible for.
+    """
+
+    #: Backend name used in failure attribution and CLI listings.
+    name = "abstract"
+
+    def run_stage(
+        self,
+        plan: UoIPlan,
+        stage: str,
+        chains: list[list[Subproblem]],
+        hooks: HookList,
+    ) -> dict[str, dict[str, np.ndarray]]:
+        raise NotImplementedError
+
+
+def _lookup_chain(
+    chain: list[Subproblem], hooks: HookList
+) -> dict[str, dict[str, np.ndarray]]:
+    """Recovered payloads for a chain (hook dispatch included)."""
+    recovered = {}
+    for task in chain:
+        payload = hooks.lookup(task)
+        if payload is not None:
+            recovered[task.key] = payload
+    return recovered
+
+
+class SerialExecutor(Executor):
+    """In-order, in-process execution — the reference backend."""
+
+    name = "serial"
+
+    def run_stage(self, plan, stage, chains, hooks):
+        results: dict[str, dict[str, np.ndarray]] = {}
+        for chain in chains:
+            recovered = _lookup_chain(chain, hooks)
+            for task in chain:
+                if task.key in recovered:
+                    results[task.key] = recovered[task.key]
+                    hooks.on_subproblem_done(
+                        task, recovered[task.key], recovered=True
+                    )
+            if len(recovered) == len(chain):
+                continue
+
+            def emit(task, payload, _results=results):
+                _results[task.key] = payload
+                hooks.on_subproblem_done(task, payload, recovered=False)
+
+            try:
+                plan.run_chain(stage, chain, recovered, emit)
+            except BaseException as exc:
+                raise annotate_failure(exc, self.name, stage, chain)
+        return results
+
+
+# ---------------------------------------------------------------------------
+# multiprocess backend
+# ---------------------------------------------------------------------------
+# Worker-process state, installed once per pool via the initializer so
+# the (potentially large) plan is pickled once, not per chain.
+_MP_STATE: dict = {}
+
+
+def _mp_init(blob: bytes) -> None:
+    plan, stage = pickle.loads(blob)
+    _MP_STATE["plan"] = plan
+    _MP_STATE["stage"] = stage
+    _MP_STATE["chains"] = plan.chains(stage)
+
+
+def _mp_run_chain(
+    chain_index: int, recovered: dict[str, dict[str, np.ndarray]]
+) -> dict[str, dict[str, np.ndarray]]:
+    plan, stage = _MP_STATE["plan"], _MP_STATE["stage"]
+    chain = _MP_STATE["chains"][chain_index]
+    out: dict[str, dict[str, np.ndarray]] = {}
+
+    def emit(task, payload):
+        out[task.key] = payload
+
+    try:
+        plan.run_chain(stage, chain, recovered, emit)
+    except BaseException as exc:
+        raise annotate_failure(exc, MultiprocessExecutor.name, stage, chain)
+    return out
+
+
+class MultiprocessExecutor(Executor):
+    """Real multi-core execution over a process pool.
+
+    Chains are independent by contract, so they are farmed out to
+    worker processes; hook dispatch stays in the parent and replays in
+    deterministic chain order once the stage's futures resolve.  The
+    plan is re-pickled per stage (workers need the state produced by
+    earlier reductions, e.g. the support family before estimation).
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to ``min(os.cpu_count(), 8)``.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (cheapest for read-only numpy state), else ``spawn``.
+    """
+
+    name = "multiprocess"
+
+    def __init__(
+        self, max_workers: int | None = None, start_method: str | None = None
+    ) -> None:
+        if max_workers is None:
+            max_workers = min(os.cpu_count() or 1, 8)
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self.max_workers = max_workers
+        self.start_method = start_method
+
+    def run_stage(self, plan, stage, chains, hooks):
+        recovered_by_chain: list[dict] = []
+        pending: list[int] = []
+        for ci, chain in enumerate(chains):
+            recovered = _lookup_chain(chain, hooks)
+            recovered_by_chain.append(recovered)
+            if len(recovered) < len(chain):
+                pending.append(ci)
+
+        computed: dict[int, dict[str, dict[str, np.ndarray]]] = {}
+        if pending:
+            blob = pickle.dumps((plan, stage))
+            ctx = multiprocessing.get_context(self.start_method)
+            workers = min(self.max_workers, len(pending))
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=ctx,
+                initializer=_mp_init,
+                initargs=(blob,),
+            ) as pool:
+                futures = {
+                    ci: pool.submit(_mp_run_chain, ci, recovered_by_chain[ci])
+                    for ci in pending
+                }
+                for ci, fut in futures.items():
+                    try:
+                        computed[ci] = fut.result()
+                    except BaseException as exc:
+                        # Workers annotate before raising, but a chain
+                        # that died before reaching the worker (pickle,
+                        # pool teardown) still needs attribution.
+                        if "engine backend=" not in "".join(
+                            getattr(exc, "__notes__", ())
+                        ):
+                            annotate_failure(exc, self.name, stage, chains[ci])
+                        raise
+
+        # Deterministic hook replay + result assembly, in chain order.
+        results: dict[str, dict[str, np.ndarray]] = {}
+        for ci, chain in enumerate(chains):
+            recovered = recovered_by_chain[ci]
+            solved = computed.get(ci, {})
+            for task in chain:
+                if task.key in recovered:
+                    results[task.key] = recovered[task.key]
+                    hooks.on_subproblem_done(
+                        task, recovered[task.key], recovered=True
+                    )
+                else:
+                    results[task.key] = solved[task.key]
+                    hooks.on_subproblem_done(
+                        task, solved[task.key], recovered=False
+                    )
+        return results
+
+
+# ---------------------------------------------------------------------------
+# simulated-MPI backend
+# ---------------------------------------------------------------------------
+class SimMpiExecutor(Executor):
+    """Simulated-MPI execution, standalone or bound to an SPMD program.
+
+    *Standalone* (``SimMpiExecutor(nranks=4)``): each stage launches a
+    fresh simulated world via :func:`~repro.simmpi.executor.run_spmd`;
+    chains are round-robined over the ranks (chain ``i`` on rank
+    ``i % nranks``), results are gathered to rank 0, and hooks replay
+    in the parent in deterministic chain order.  An injected rank
+    death surfaces as :class:`~repro.simmpi.executor.SpmdError` — the
+    standalone engine has no restart loop of its own; resilience runs
+    go through the distributed drivers.
+
+    *Bound* (:meth:`bound`): the executor runs *inside* an existing
+    rank program, as this rank's slice of the engine.  Chains are
+    filtered by the caller's P_B x P_lambda grid (bootstrap ownership
+    per chain, λ ownership per task) and the plan's ``run_chain`` is
+    free to use the cell communicator — this is how the distributed
+    UoI drivers keep their consensus-ADMM collectives bit-for-bit
+    while delegating orchestration to the engine.
+    """
+
+    name = "simmpi"
+
+    def __init__(self, nranks: int = 2, machine=None) -> None:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        self.nranks = nranks
+        self.machine = machine
+        self._grid = None
+
+    @classmethod
+    def bound(cls, grid) -> "SimMpiExecutor":
+        """Per-rank executor bound to an existing SPMD process grid."""
+        ex = cls(nranks=grid.world.size)
+        ex._grid = grid
+        return ex
+
+    # ----------------------------------------------------------- modes
+    def run_stage(self, plan, stage, chains, hooks):
+        if self._grid is not None:
+            return self._run_bound(plan, stage, chains, hooks)
+        return self._run_standalone(plan, stage, chains, hooks)
+
+    def _run_bound(self, plan, stage, chains, hooks):
+        grid = self._grid
+        results: dict[str, dict[str, np.ndarray]] = {}
+        for chain in chains:
+            if not grid.owns_bootstrap(chain[0].bootstrap):
+                continue
+            owned = [
+                t
+                for t in chain
+                if t.lam_index is None or grid.owns_lambda(t.lam_index)
+            ]
+            if not owned:
+                continue
+            recovered = {}
+            for task in owned:
+                payload = hooks.lookup(task)
+                if payload is not None:
+                    recovered[task.key] = payload
+                    results[task.key] = payload
+                    hooks.on_subproblem_done(task, payload, recovered=True)
+            if len(recovered) == len(owned):
+                continue
+
+            def emit(task, payload, _results=results):
+                _results[task.key] = payload
+                hooks.on_subproblem_done(task, payload, recovered=False)
+
+            try:
+                plan.run_chain(stage, owned, recovered, emit)
+            except BaseException as exc:
+                raise annotate_failure(exc, self.name, stage, owned)
+        return results
+
+    def _run_standalone(self, plan, stage, chains, hooks):
+        from repro.simmpi.executor import SpmdError, run_spmd
+        from repro.simmpi.machine import LAPTOP
+
+        recovered_by_chain: list[dict] = []
+        pending: list[int] = []
+        for ci, chain in enumerate(chains):
+            recovered = _lookup_chain(chain, hooks)
+            recovered_by_chain.append(recovered)
+            if len(recovered) < len(chain):
+                pending.append(ci)
+
+        computed: dict[str, dict[str, np.ndarray]] = {}
+        if pending:
+            backend = self.name
+
+            def rank_program(comm):
+                out: dict[str, dict[str, np.ndarray]] = {}
+
+                def emit(task, payload):
+                    out[task.key] = payload
+
+                for ci in pending:
+                    if ci % comm.size != comm.rank:
+                        continue
+                    chain = chains[ci]
+                    try:
+                        plan.run_chain(
+                            stage, chain, recovered_by_chain[ci], emit
+                        )
+                    except BaseException as exc:
+                        raise annotate_failure(exc, backend, stage, chain)
+                gathered = comm.gather(out, root=0)
+                if comm.rank != 0:
+                    return None
+                merged: dict[str, dict[str, np.ndarray]] = {}
+                for part in gathered:
+                    merged.update(part)
+                return merged
+
+            res = run_spmd(
+                self.nranks,
+                rank_program,
+                machine=self.machine if self.machine is not None else LAPTOP,
+            )
+            if res.failed_ranks:
+                raise SpmdError(sorted(res.failed_ranks.items()))
+            computed = res.values[0]
+
+        results: dict[str, dict[str, np.ndarray]] = {}
+        for ci, chain in enumerate(chains):
+            recovered = recovered_by_chain[ci]
+            for task in chain:
+                if task.key in recovered:
+                    results[task.key] = recovered[task.key]
+                    hooks.on_subproblem_done(
+                        task, recovered[task.key], recovered=True
+                    )
+                else:
+                    results[task.key] = computed[task.key]
+                    hooks.on_subproblem_done(
+                        task, computed[task.key], recovered=False
+                    )
+        return results
+
+
+# ---------------------------------------------------------------------------
+# driver loop
+# ---------------------------------------------------------------------------
+def run_plan(plan: UoIPlan, executor: Executor, hooks=()):
+    """Run every stage of ``plan`` on ``executor``; returns ``finalize()``.
+
+    Per stage: execute all chains, fire ``on_stage_end`` (checkpoint
+    hooks flush here, making solved state durable *before* the
+    reduction's collectives — the ordering the legacy drivers pinned),
+    then reduce.  ``hooks`` is any iterable of
+    :class:`~repro.engine.hooks.EngineHook`.
+    """
+    hook_list = hooks if isinstance(hooks, HookList) else HookList(hooks)
+    hook_list.on_run_start(plan, executor)
+    for stage in plan.stages:
+        chains = plan.chains(stage)
+        results = executor.run_stage(plan, stage, chains, hook_list)
+        hook_list.on_stage_end(stage, plan)
+        try:
+            plan.reduce(stage, results)
+        except BaseException as exc:
+            raise annotate_failure(exc, executor.name, f"{stage}/reduce")
+    hook_list.on_run_end(plan)
+    return plan.finalize()

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["lambda_max", "lambda_grid"]
+__all__ = ["lambda_max", "lambda_grid", "lambda_grid_from_max"]
 
 
 def lambda_max(X: np.ndarray, y: np.ndarray) -> float:
@@ -59,11 +59,30 @@ def lambda_grid(
     numpy.ndarray
         Strictly decreasing array of length ``num``.
     """
+    return lambda_grid_from_max(lambda_max(X, y), num=num, eps=eps)
+
+
+def lambda_grid_from_max(lmax: float, num: int = 48, eps: float = 1e-3) -> np.ndarray:
+    """Geometric grid anchored at a precomputed ``λ_max``.
+
+    The single implementation behind every λ-grid in the codebase:
+    :func:`lambda_grid` calls it with the local ``λ_max``; the
+    distributed drivers call it with an ``Allreduce``-assembled
+    ``2 * max |X'y|`` (their design is sharded across ranks), and the
+    VAR estimators with the lifted problem's
+    ``2 * max_c max_j |x_j' Y[:, c]|``.
+
+    Parameters
+    ----------
+    lmax:
+        The anchoring ``λ_max`` (see :func:`lambda_max`).
+    num, eps:
+        As in :func:`lambda_grid`.
+    """
     if num < 1:
         raise ValueError(f"lambda_grid requires num >= 1, got {num}")
     if not (0 < eps < 1):
         raise ValueError(f"lambda_grid requires 0 < eps < 1, got {eps}")
-    lmax = lambda_max(X, y)
     if lmax <= 0:
         # Degenerate data (y orthogonal to all columns): fall back to a
         # unit-scale grid so callers still get `num` distinct penalties.

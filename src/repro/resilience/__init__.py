@@ -16,8 +16,10 @@ so every behavior is testable deterministically:
    raising.
 2. **Checkpointing** (:mod:`repro.resilience.checkpoint`) — an atomic,
    checksummed :class:`CheckpointStore` of completed (bootstrap, λ)
-   subproblems, written by the UoI drivers at a configurable cadence
-   through :class:`CheckpointPlan` / :class:`CheckpointSession`.
+   subproblems, buffered at a configurable cadence through
+   :class:`CheckpointPlan` / :class:`CheckpointSession` and attached
+   to every UoI driver as one execution-engine hook
+   (:class:`CheckpointHook` — see :mod:`repro.engine`).
 3. **Recovery** (:mod:`repro.resilience.recovery`) —
    :func:`run_with_recovery` relaunches a killed job against the same
    store; bootstrap replay from the shared ``random_state`` plus
@@ -43,6 +45,7 @@ from repro.resilience.checkpoint import (
     CheckpointStore,
     CheckpointPlan,
     CheckpointSession,
+    CheckpointHook,
 )
 from repro.resilience.recovery import (
     AttemptRecord,
@@ -64,6 +67,7 @@ __all__ = [
     "CheckpointStore",
     "CheckpointPlan",
     "CheckpointSession",
+    "CheckpointHook",
     "AttemptRecord",
     "RecoveryOutcome",
     "run_with_recovery",

@@ -20,9 +20,14 @@ same striped filesystem Tier-1 reads from), so checkpoint cadence shows
 up honestly in the paper-style DATA_IO bars —
 ``benchmarks/bench_ablation_checkpoint.py`` measures exactly that.
 
-:class:`CheckpointSession` is the driver-side half: per-rank lookup /
-record / flush bookkeeping with a configurable cadence (flush every N
-completed subproblems), used by the serial and distributed UoI drivers.
+:class:`CheckpointSession` is the per-rank half: lookup / record /
+flush bookkeeping with a configurable cadence (flush every N completed
+subproblems).  Drivers no longer call it directly: checkpointing
+attaches to the execution engine as :class:`CheckpointHook`, one
+:class:`~repro.engine.hooks.EngineHook` that serves recovered payloads
+through ``lookup``, records each solved subproblem as it completes,
+and flushes at every stage boundary — before the stage's reduction
+collectives, so solved state is durable when the run re-enters them.
 """
 
 from __future__ import annotations
@@ -47,6 +52,7 @@ __all__ = [
     "CheckpointStore",
     "CheckpointPlan",
     "CheckpointSession",
+    "CheckpointHook",
 ]
 
 MANIFEST_NAME = "MANIFEST.json"
@@ -342,3 +348,71 @@ class CheckpointSession:
                     self.machine, total_bytes, 1, stripe_count=1
                 ),
             )
+
+
+class CheckpointHook:
+    """Checkpoint/restart as an engine hook.
+
+    One :class:`CheckpointHook` attached to
+    :func:`repro.engine.executors.run_plan` replaces the lookup /
+    record / flush wiring the four legacy drivers each carried:
+
+    * ``on_run_start`` pins the plan's metadata into the store
+      (rejecting resumes under different parameters);
+    * ``lookup`` serves recovered payloads, which the engine counts as
+      completed-without-solving;
+    * ``on_subproblem_done`` records each *solved* task at the
+      session's cadence (recovered tasks are never re-written);
+    * ``on_stage_end`` flushes, so every solved subproblem is durable
+      before the stage's reduction collectives run.
+
+    It satisfies the :class:`repro.engine.hooks.EngineHook` protocol
+    structurally (no subclassing, keeping this package import-light).
+    A hook wrapping ``checkpoint=None`` is a cheap no-op store-wise but
+    still counts completed subproblems — that is where the estimators'
+    ``completed_subproblems_`` attribute comes from on plain runs.
+
+    Parameters mirror :class:`CheckpointSession`: ``clock`` /
+    ``machine`` charge modeled write time, ``writer`` marks the one
+    rank per cell that owns the write path.
+    """
+
+    def __init__(
+        self,
+        checkpoint: CheckpointPlan | None,
+        *,
+        clock: RankClock | None = None,
+        machine: MachineModel | None = None,
+        writer: bool = True,
+    ) -> None:
+        self.session = CheckpointSession(
+            checkpoint, clock=clock, machine=machine, writer=writer
+        )
+
+    # ------------------------------------------------- hook protocol
+    def on_run_start(self, plan, executor) -> None:
+        self.session.ensure_meta(plan.meta())
+
+    def lookup(self, task) -> dict[str, np.ndarray] | None:
+        return self.session.lookup(task.key)
+
+    def on_subproblem_done(self, task, payload, *, recovered: bool) -> None:
+        if not recovered:
+            self.session.record(task.key, payload)
+
+    def on_stage_end(self, stage, plan) -> None:
+        self.session.flush()
+
+    def on_run_end(self, plan) -> None:
+        pass
+
+    # ------------------------------------------------------ counters
+    @property
+    def recovered(self) -> int:
+        """Lookups served from the store."""
+        return self.session.recovered
+
+    @property
+    def completed(self) -> int:
+        """Subproblems solved by this run."""
+        return self.session.completed

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.resilience.checkpoint import CheckpointPlan, CheckpointStore
 from repro.resilience.faults import FaultPlan
-from repro.simmpi.executor import SpmdResult, run_spmd
+from repro.simmpi.executor import SpmdResult, describe_failure, run_spmd
 from repro.simmpi.machine import LAPTOP, MachineModel
 
 __all__ = [
@@ -197,8 +197,12 @@ def run_with_recovery(
             AttemptRecord(
                 attempt=attempt,
                 elapsed=result.elapsed,
+                # describe_failure folds in the engine's exception notes
+                # (backend, stage, subproblem keys), so the attempt
+                # record says where in the plan each rank died.
                 failed_ranks={
-                    r: str(e) for r, e in sorted(result.failed_ranks.items())
+                    r: describe_failure(e)
+                    for r, e in sorted(result.failed_ranks.items())
                 },
                 checkpointed=len(store) if store is not None else 0,
             )

@@ -39,7 +39,24 @@ from repro.simmpi.comm import (
 from repro.simmpi.machine import MachineModel, LAPTOP
 from repro.simmpi.trace import Tracer
 
-__all__ = ["run_spmd", "SpmdError", "SpmdResult"]
+__all__ = ["run_spmd", "SpmdError", "SpmdResult", "describe_failure"]
+
+
+def describe_failure(exc: BaseException) -> str:
+    """``repr`` of a rank failure plus any attached context notes.
+
+    The execution engine annotates exceptions with PEP 678 notes
+    carrying the backend name, stage, and subproblem keys of the work
+    that was in flight (see
+    :func:`repro.engine.executors.annotate_failure`); folding them into
+    the description means an :class:`SpmdError` message — and the
+    ``failed_ranks`` tables built from it — pinpoints *where in the
+    plan* a rank died, not just that it died.
+    """
+    notes = getattr(exc, "__notes__", None)
+    if not notes:
+        return repr(exc)
+    return f"{exc!r} [{'; '.join(str(n) for n in notes)}]"
 
 
 class SpmdError(RuntimeError):
@@ -55,6 +72,10 @@ class SpmdError(RuntimeError):
     rank, original:
         The lowest failing rank and its exception (the historical
         single-failure interface).
+
+    The message includes each failure's exception notes (when the work
+    ran under the execution engine these carry backend, stage, and
+    subproblem position — see :func:`describe_failure`).
     """
 
     def __init__(self, failures: list[tuple[int, BaseException]]) -> None:
@@ -63,10 +84,12 @@ class SpmdError(RuntimeError):
         failures = sorted(failures, key=lambda f: f[0])
         if len(failures) == 1:
             rank, exc = failures[0]
-            msg = f"rank {rank} failed: {exc!r}"
+            msg = f"rank {rank} failed: {describe_failure(exc)}"
         else:
             ranks = ", ".join(str(r) for r, _ in failures)
-            details = "; ".join(f"rank {r}: {e!r}" for r, e in failures)
+            details = "; ".join(
+                f"rank {r}: {describe_failure(e)}" for r, e in failures
+            )
             msg = f"{len(failures)} ranks failed ({ranks}): {details}"
         super().__init__(msg)
         self.failures = failures

@@ -56,6 +56,38 @@ class TestMachine:
             main(["machine", "cray-1"])
 
 
+class TestEngine:
+    def test_lists_every_backend(self, capsys):
+        from repro.engine import BACKENDS
+
+        assert main(["engine"]) == 0
+        out = capsys.readouterr().out
+        for name in BACKENDS:
+            assert name in out
+        assert "REPRO_ENGINE_BACKEND" in out
+
+    def test_dry_run_enumerates_both_plans(self, capsys):
+        assert main(["engine", "--n", "64", "--p", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "plan serial_uoi_lasso" in out
+        assert "plan serial_uoi_var" in out
+        assert "serial-sel/k0" in out and "serial-var-sel/k0" in out
+        assert "GFLOP" in out and "modeled" in out
+
+    def test_kind_filter_and_machine(self, capsys):
+        assert main(
+            ["engine", "--kind", "lasso", "--machine", "laptop"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serial_uoi_lasso" in out
+        assert "serial_uoi_var" not in out
+        assert "laptop" in out
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["engine", "--machine", "cray-1"])
+
+
 class TestExperimentRegistry:
     def test_registry_matches_modules(self):
         import importlib

@@ -232,7 +232,6 @@ class TestDatasetIO:
 
     def test_small_files_unstriped(self):
         from repro.datasets import make_regression_file
-        from repro.simmpi import CORI_KNL
 
         file, _ = make_regression_file(
             20, 3, rng=np.random.default_rng(2), path="/t3.h5"

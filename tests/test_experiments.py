@@ -5,7 +5,6 @@ full ones.  Marked module-scoped fixtures keep the slow drivers to one
 execution each.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

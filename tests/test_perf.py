@@ -1,6 +1,5 @@
 """Tests for flop accounting, roofline model and breakdown reports."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

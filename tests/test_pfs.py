@@ -12,7 +12,7 @@ from repro.pfs import (
     randomized_shuffle_time,
     serial_chunked_read_time,
 )
-from repro.pfs.lustre import conventional_distribution_time, STRIPE_THRESHOLD_BYTES
+from repro.pfs.lustre import conventional_distribution_time
 from repro.simmpi import CORI_KNL, LAPTOP, RankClock, TimeCategory, run_spmd
 
 

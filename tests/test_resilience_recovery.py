@@ -3,12 +3,21 @@
 import numpy as np
 import pytest
 
-from repro.core import UoILassoConfig, UoIVarConfig
+from repro.core import UoILasso, UoILassoConfig, UoIVar, UoIVarConfig
 from repro.core.parallel import distributed_uoi_lasso, distributed_uoi_var
 from repro.datasets import make_sparse_regression, make_sparse_var
+from repro.engine import (
+    EngineHook,
+    LassoPlan,
+    MultiprocessExecutor,
+    SerialExecutor,
+    SimMpiExecutor,
+    run_plan,
+)
 from repro.experiments import resilience
 from repro.pfs import SimH5File
 from repro.resilience import (
+    CheckpointHook,
     CheckpointPlan,
     CheckpointStore,
     FaultPlan,
@@ -175,6 +184,107 @@ class TestRunWithRecovery:
 
         with pytest.raises(RuntimeError, match="still failing after 1"):
             run_with_recovery(2, prog, fault_plan=plan, max_restarts=1)
+
+
+class _InterruptAfter(EngineHook):
+    """Raises after N completed subproblems — a mid-run job death."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.seen = 0
+
+    def on_subproblem_done(self, task, payload, *, recovered):
+        self.seen += 1
+        if self.seen >= self.n:
+            raise RuntimeError("interrupted")
+
+
+class TestHookPathResume:
+    """Checkpoint/resume golden determinism through the engine hooks.
+
+    The serial estimators checkpoint via
+    :class:`~repro.resilience.CheckpointHook` attached to the engine
+    run; an interrupted fit resumed against the same store must be
+    bitwise identical to an uninterrupted one — on *every* backend.
+    """
+
+    CFG = UoILassoConfig(
+        n_lambdas=4,
+        n_selection_bootstraps=3,
+        n_estimation_bootstraps=2,
+        random_state=10,
+    )
+
+    def test_partial_store_resumes_bitwise_on_every_backend(self, tmp_path):
+        ds = make_sparse_regression(
+            72, 8, n_informative=3, snr=12.0, rng=np.random.default_rng(44)
+        )
+        ref = UoILasso(self.CFG).fit(ds.X, ds.y)
+
+        # Interrupt an engine run after two subproblems; cadence=1
+        # makes both durable before the "crash".
+        store = CheckpointStore(tmp_path / "ckpt")
+        plan = LassoPlan(self.CFG, ds.X, ds.y)
+        hook = CheckpointHook(CheckpointPlan(store, cadence=1))
+        with pytest.raises(RuntimeError, match="interrupted"):
+            run_plan(plan, SerialExecutor(), [hook, _InterruptAfter(2)])
+        total = (
+            self.CFG.n_selection_bootstraps + self.CFG.n_estimation_bootstraps
+        )
+        assert 0 < len(store) < total
+
+        first = True
+        for executor in (
+            SerialExecutor(),
+            MultiprocessExecutor(max_workers=2),
+            SimMpiExecutor(nranks=2),
+        ):
+            ck = CheckpointPlan(CheckpointStore(tmp_path / "ckpt"), cadence=1)
+            resumed = UoILasso(self.CFG).fit(
+                ds.X, ds.y, checkpoint=ck, executor=executor
+            )
+            assert resumed.coef_.tobytes() == ref.coef_.tobytes()
+            assert resumed.losses_.tobytes() == ref.losses_.tobytes()
+            np.testing.assert_array_equal(resumed.supports_, ref.supports_)
+            if first:
+                # The first resume recovers exactly the pre-crash work.
+                assert resumed.recovered_subproblems_ == 2
+                assert resumed.completed_subproblems_ == total - 2
+                first = False
+            else:
+                # The store is complete now: later backends fast-forward.
+                assert resumed.recovered_subproblems_ == total
+                assert resumed.completed_subproblems_ == 0
+
+    def test_var_full_store_fast_forwards_cross_backend(self, tmp_path):
+        sv = make_sparse_var(3, 44, rng=np.random.default_rng(45))
+        vcfg = UoIVarConfig(
+            order=1,
+            lasso=UoILassoConfig(
+                n_lambdas=4,
+                n_selection_bootstraps=2,
+                n_estimation_bootstraps=2,
+                random_state=6,
+            ),
+        )
+        store = CheckpointStore(tmp_path / "ckpt")
+        ref = UoIVar(vcfg).fit(
+            sv.series, checkpoint=CheckpointPlan(store, cadence=1)
+        )
+        assert ref.completed_subproblems_ == 4
+        assert store_progress(store) == {
+            "serial-var-sel": 2, "serial-var-est": 2, "total": 4,
+        }
+
+        resumed = UoIVar(vcfg).fit(
+            sv.series,
+            checkpoint=CheckpointPlan(store, cadence=1),
+            executor=MultiprocessExecutor(max_workers=2),
+        )
+        assert resumed.recovered_subproblems_ == 4
+        assert resumed.completed_subproblems_ == 0
+        assert resumed.vec_coef_.tobytes() == ref.vec_coef_.tobytes()
+        assert resumed.losses_.tobytes() == ref.losses_.tobytes()
 
 
 class TestResilienceExperiment:

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.simmpi import (
-    LAPTOP,
     MAX,
     MIN,
     PROD,

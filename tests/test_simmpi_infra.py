@@ -7,7 +7,6 @@ from hypothesis import given, settings, strategies as st
 from repro.simmpi import (
     CORI_KNL,
     LAPTOP,
-    MachineModel,
     RankClock,
     SpmdError,
     TimeCategory,

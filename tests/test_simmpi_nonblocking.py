@@ -5,7 +5,6 @@ import pytest
 
 from repro.simmpi import (
     CORI_KNL,
-    LAPTOP,
     MAX,
     SUM,
     SpmdError,
