@@ -24,6 +24,13 @@ Subcommands
     chain/subproblem counts per stage, checkpoint-key patterns, and
     the estimated floating-point cost (with modeled seconds on the
     chosen machine) — without solving anything.
+``trace record|summary|chrome|diff|validate ...``
+    Telemetry tooling: ``record`` runs small telemetry-enabled fits
+    and exports their manifests + Chrome traces; ``summary`` renders a
+    manifest as the paper-style four-category breakdown table;
+    ``chrome`` converts a manifest to Chrome trace-event JSON for
+    chrome://tracing / Perfetto; ``diff`` compares two manifests;
+    ``validate`` schema-checks an exported Chrome trace (used in CI).
 """
 
 from __future__ import annotations
@@ -148,6 +155,48 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(_MACHINES),
         help="machine model used to convert FLOPs to modeled seconds",
     )
+
+    trace = sub.add_parser("trace", help="telemetry manifests and Chrome traces")
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trec = tsub.add_parser(
+        "record", help="run small telemetry-enabled fits and export traces"
+    )
+    trec.add_argument(
+        "-o", "--out", required=True, metavar="DIR",
+        help="export directory for manifests and Chrome traces",
+    )
+    trec.add_argument(
+        "--kind", choices=["lasso", "var", "both"], default="both",
+        help="which estimator(s) to run",
+    )
+    trec.add_argument("--n", type=int, default=96, help="sample count (rows)")
+    trec.add_argument(
+        "--p", type=int, default=10, help="feature / series count"
+    )
+
+    tsum = tsub.add_parser(
+        "summary", help="render a run manifest as a breakdown table"
+    )
+    tsum.add_argument("manifest", nargs="+", help="manifest-*.jsonl path(s)")
+
+    tchrome = tsub.add_parser(
+        "chrome", help="convert a manifest to Chrome trace-event JSON"
+    )
+    tchrome.add_argument("manifest", help="manifest-*.jsonl path")
+    tchrome.add_argument(
+        "-o", "--out", default=None, metavar="FILE",
+        help="output path (default: stdout)",
+    )
+
+    tdiff = tsub.add_parser("diff", help="compare two run manifests")
+    tdiff.add_argument("manifest_a", help="baseline manifest")
+    tdiff.add_argument("manifest_b", help="comparison manifest")
+
+    tval = tsub.add_parser(
+        "validate", help="schema-check Chrome trace-event JSON file(s)"
+    )
+    tval.add_argument("trace", nargs="+", help="trace-*.json path(s)")
     return parser
 
 
@@ -239,6 +288,141 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _summarize_manifest(path: str) -> None:
+    """Print one manifest's header, stage table, breakdown and counters."""
+    from repro.perf.report import BreakdownRow, format_breakdown_table
+    from repro.telemetry import read_manifest
+
+    man = read_manifest(path)
+    run, summary = man["run"], man["summary"]
+    print(f"manifest {path}")
+    print(
+        f"  kind={run.get('kind')}  backend={run.get('backend')}  "
+        f"label={run.get('label')}  git={str(run.get('git_rev'))[:10]}  "
+        f"created={run.get('created_utc')}"
+    )
+    stages = summary.get("stages", {})
+    if stages:
+        width = max(len(s) for s in stages)
+        for stage, st in stages.items():
+            print(
+                f"  {stage:<{width}}  subproblems={st['subproblems']:<5} "
+                f"solved={st['solved']:<5} recovered={st['recovered']:<5} "
+                f"{st['seconds']:.4f}s"
+            )
+    row = BreakdownRow(
+        label=run.get("label") or run.get("kind") or "run",
+        seconds=summary.get("breakdown", {}),
+        extra={"backend": str(run.get("backend"))},
+    )
+    print()
+    print(format_breakdown_table([row], title="runtime breakdown"))
+    counters = man["counters"]
+    if counters:
+        print()
+        width = max(len(k) for k in counters)
+        for name in sorted(counters):
+            print(f"  {name:<{width}}  {counters[name]:.6g}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "record":
+        import numpy as np
+
+        from repro.core.config import UoILassoConfig, UoIVarConfig
+        from repro.core.uoi_lasso import UoILasso
+        from repro.core.uoi_var import UoIVar
+        from repro.datasets import make_sparse_regression, make_sparse_var
+
+        exported: list[str] = []
+        if args.kind in ("lasso", "both"):
+            ds = make_sparse_regression(
+                args.n, args.p, n_informative=3, snr=15.0,
+                rng=np.random.default_rng(11),
+            )
+            cfg = UoILassoConfig(
+                n_lambdas=5, n_selection_bootstraps=4,
+                n_estimation_bootstraps=3, random_state=5,
+            )
+            model = UoILasso(cfg).fit(ds.X, ds.y, telemetry=args.out)
+            exported += model.telemetry_.exported
+        if args.kind in ("var", "both"):
+            vds = make_sparse_var(
+                min(args.p, 6), args.n, rng=np.random.default_rng(12)
+            )
+            vcfg = UoIVarConfig()
+            vcfg = vcfg.with_(
+                lasso=vcfg.lasso.with_(
+                    n_lambdas=4, n_selection_bootstraps=3,
+                    n_estimation_bootstraps=3, random_state=5,
+                )
+            )
+            vmodel = UoIVar(vcfg).fit(vds.series, telemetry=args.out)
+            exported += vmodel.telemetry_.exported
+        for path in exported:
+            print(path)
+        for path in exported:
+            if "manifest-" in path:
+                print()
+                _summarize_manifest(path)
+        return 0
+
+    if args.trace_command == "summary":
+        for i, path in enumerate(args.manifest):
+            if i:
+                print()
+            _summarize_manifest(path)
+        return 0
+
+    if args.trace_command == "chrome":
+        import json
+
+        from repro.telemetry import manifest_to_chrome, read_manifest
+
+        doc = manifest_to_chrome(read_manifest(args.manifest))
+        if args.out is None:
+            print(json.dumps(doc))
+        else:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh)
+            print(f"wrote {args.out} ({len(doc['traceEvents'])} events)")
+        return 0
+
+    if args.trace_command == "diff":
+        from repro.telemetry import diff_manifests, read_manifest
+
+        print(
+            diff_manifests(
+                read_manifest(args.manifest_a),
+                read_manifest(args.manifest_b),
+                labels=("a", "b"),
+            )
+        )
+        return 0
+
+    if args.trace_command == "validate":
+        import json
+
+        from repro.telemetry import validate_chrome_trace
+
+        bad = 0
+        for path in args.trace:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            errors = validate_chrome_trace(doc)
+            n = len(doc.get("traceEvents", doc)) if not errors else 0
+            if errors:
+                bad += 1
+                print(f"{path}: INVALID")
+                for err in errors:
+                    print(f"  {err}")
+            else:
+                print(f"{path}: ok ({n} events)")
+        return 1 if bad else 0
+
+    raise AssertionError(f"unhandled trace command {args.trace_command!r}")
+
+
 def _cmd_machine(name: str) -> int:
     machine = _MACHINES[name]
     print(f"machine model: {machine.name}")
@@ -264,6 +448,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_machine(args.name)
     if args.command == "engine":
         return _cmd_engine(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

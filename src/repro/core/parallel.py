@@ -75,6 +75,8 @@ from repro.resilience.checkpoint import (
 from repro.simmpi.clock import TimeCategory
 from repro.simmpi.comm import SimComm
 from repro.simmpi.reduce_ops import MIN, SUM
+from repro.telemetry import resolve_telemetry
+from repro.telemetry.hook import TelemetryHook
 from repro.var.lag import build_lag_matrices, partition_coefficients
 
 __all__ = [
@@ -166,6 +168,9 @@ class DistributedUoIResult:
         World totals of (bootstrap, λ) subproblems served from a
         checkpoint store versus computed by this run (both 0 when the
         driver ran without ``checkpoint=``).
+    telemetry:
+        This rank's :class:`~repro.telemetry.hook.TelemetryHook`, or
+        ``None`` when the driver ran without ``telemetry=``.
     """
 
     coef: np.ndarray
@@ -175,6 +180,7 @@ class DistributedUoIResult:
     lambdas: np.ndarray
     recovered_subproblems: int = 0
     completed_subproblems: int = 0
+    telemetry: object | None = None
 
 
 def _reduce_progress(
@@ -194,6 +200,26 @@ def _reduce_progress(
     recovered = int(comm.allreduce(rec, SUM))
     completed = int(comm.allreduce(comp, SUM))
     return recovered, completed
+
+
+def _rank_telemetry(telemetry, comm: SimComm, label: str):
+    """Per-rank telemetry hook for a distributed driver, or ``None``.
+
+    Simulated ranks are threads, and the context-var current recorder
+    is per-thread, so each rank resolves its own hook (``tid`` = world
+    rank) inside its program — the solver/I-O one-liners on that rank
+    then feed that rank's recorder.  File export stays enabled only on
+    world rank 0 to avoid every rank writing the same paths; pass an
+    explicit :class:`TelemetryHook` to opt out of that convention.
+    """
+    tel = resolve_telemetry(telemetry, tid=comm.rank, label=label)
+    if (
+        tel is not None
+        and comm.rank != 0
+        and not isinstance(telemetry, TelemetryHook)
+    ):
+        tel.export_dir = None
+    return tel
 
 
 def _draw_lasso_bootstraps(
@@ -547,6 +573,7 @@ def distributed_uoi_lasso(
     pb: int = 1,
     plam: int = 1,
     checkpoint: CheckpointPlan | None = None,
+    telemetry=None,
 ) -> DistributedUoIResult:
     """Run distributed UoI_LASSO on an ``(n, 1 + p)`` dataset.
 
@@ -565,6 +592,11 @@ CheckpointPlan`, each cell's rank 0 persists its completed
     producing bitwise the result of an uninterrupted run.  Resuming
     requires the same config and grid shape (enforced via the store's
     pinned metadata).
+
+    ``telemetry=`` attaches one per-rank
+    :class:`~repro.telemetry.hook.TelemetryHook` (``tid`` = world
+    rank); with a directory value only world rank 0 exports files.
+    The rank-0 hook is returned on ``result.telemetry``.
     """
     if config.fit_intercept:
         raise ValueError(
@@ -597,13 +629,16 @@ CheckpointPlan`, each cell's rank 0 persists its completed
         machine=comm.machine,
         writer=grid.cell.rank == 0,
     )
-    result = run_plan(plan, SimMpiExecutor.bound(grid), [hook])
+    tel = _rank_telemetry(telemetry, comm, "distributed_uoi_lasso")
+    hooks = [hook] if tel is None else [hook, tel]
+    result = run_plan(plan, SimMpiExecutor.bound(grid), hooks)
 
     recovered, completed = _reduce_progress(comm, grid, hook.session)
 
     dist.close()
     result.recovered_subproblems = recovered
     result.completed_subproblems = completed
+    result.telemetry = tel
     return result
 
 
@@ -616,6 +651,7 @@ def distributed_uoi_var(
     pb: int = 1,
     plam: int = 1,
     checkpoint: CheckpointPlan | None = None,
+    telemetry=None,
 ) -> DistributedUoIResult:
     """Run distributed UoI_VAR (Algorithm 2) over ``comm``.
 
@@ -640,6 +676,9 @@ def distributed_uoi_var(
     skip-on-resume semantics as :func:`distributed_uoi_lasso` —
     including skipping the distributed-Kronecker assembly of a
     bootstrap whose owned subproblems are all recovered.
+
+    ``telemetry=`` attaches per-rank telemetry exactly as in
+    :func:`distributed_uoi_lasso`.
     """
     lcfg = config.lasso
     grid = ProcessGrid.build(comm, pb, plam)
@@ -710,12 +749,15 @@ def distributed_uoi_var(
         machine=comm.machine,
         writer=grid.cell.rank == 0,
     )
-    result = run_plan(plan, SimMpiExecutor.bound(grid), [hook])
+    tel = _rank_telemetry(telemetry, comm, "distributed_uoi_var")
+    hooks = [hook] if tel is None else [hook, tel]
+    result = run_plan(plan, SimMpiExecutor.bound(grid), hooks)
 
     recovered, completed = _reduce_progress(comm, grid, hook.session)
 
     result.recovered_subproblems = recovered
     result.completed_subproblems = completed
+    result.telemetry = tel
     return result
 
 

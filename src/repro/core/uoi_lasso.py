@@ -68,6 +68,8 @@ class UoILasso:
         self.winners_: np.ndarray | None = None
         self.recovered_subproblems_: int = 0
         self.completed_subproblems_: int = 0
+        #: TelemetryHook from the last fit, or None (telemetry off).
+        self.telemetry_ = None
 
     # ------------------------------------------------------------------
     def fit(
@@ -77,6 +79,7 @@ class UoILasso:
         *,
         checkpoint: CheckpointPlan | None = None,
         executor=None,
+        telemetry=None,
     ) -> "UoILasso":
         """Run selection + estimation on ``(X, y)``; returns ``self``.
 
@@ -95,16 +98,30 @@ class UoILasso:
         :func:`repro.engine.default_executor` — serial unless
         ``REPRO_ENGINE_BACKEND`` says otherwise.  Results are
         bitwise-identical across backends.
+
+        ``telemetry=`` attaches a
+        :class:`~repro.telemetry.hook.TelemetryHook` recording
+        wall-clock spans for every subproblem: ``True`` for in-memory
+        recording, a directory path to also export a JSONL manifest +
+        Chrome trace, or ``None`` to consult ``REPRO_TELEMETRY`` (see
+        :func:`repro.telemetry.resolve_telemetry`).  The hook lands on
+        ``telemetry_`` after the fit; telemetry never changes the
+        numerics.
         """
         # Imported here, not at module top: the engine's plans import
         # repro.core's stage kernels, so a module-level import would
         # close a package cycle.
         from repro.engine import LassoPlan, default_executor, run_plan
+        from repro.telemetry import resolve_telemetry
 
         plan = LassoPlan(self.config, X, y)
         hook = CheckpointHook(checkpoint)
+        hooks = [hook]
+        self.telemetry_ = resolve_telemetry(telemetry, label="uoi_lasso.fit")
+        if self.telemetry_ is not None:
+            hooks.append(self.telemetry_)
         out = run_plan(
-            plan, executor if executor is not None else default_executor(), [hook]
+            plan, executor if executor is not None else default_executor(), hooks
         )
 
         self.coef_ = out.coef

@@ -86,6 +86,8 @@ class UoIVar:
         self.winners_: np.ndarray | None = None
         self.recovered_subproblems_: int = 0
         self.completed_subproblems_: int = 0
+        #: TelemetryHook from the last fit, or None (telemetry off).
+        self.telemetry_ = None
         self._p: int | None = None
         self._kdim: int | None = None
 
@@ -96,6 +98,7 @@ class UoIVar:
         *,
         checkpoint: CheckpointPlan | None = None,
         executor=None,
+        telemetry=None,
     ) -> "UoIVar":
         """Infer the VAR(d) model from an ``(N, p)`` series; returns ``self``.
 
@@ -110,18 +113,28 @@ class UoIVar:
         ``executor=`` selects the engine backend as in
         :meth:`repro.core.uoi_lasso.UoILasso.fit`; every backend
         produces bitwise the same coefficients.
+
+        ``telemetry=`` attaches a
+        :class:`~repro.telemetry.hook.TelemetryHook` as in
+        :meth:`repro.core.uoi_lasso.UoILasso.fit`; the hook lands on
+        ``telemetry_`` and never changes the numerics.
         """
         # Imported here, not at module top: the engine's plans import
         # repro.core's stage kernels, so a module-level import would
         # close a package cycle.
         from repro.engine import VarPlan, default_executor, run_plan
+        from repro.telemetry import resolve_telemetry
 
         cfg = self.config
         plan = VarPlan(cfg, series)
         self._p, self._kdim = plan.p, plan.kdim
         hook = CheckpointHook(checkpoint)
+        hooks = [hook]
+        self.telemetry_ = resolve_telemetry(telemetry, label="uoi_var.fit")
+        if self.telemetry_ is not None:
+            hooks.append(self.telemetry_)
         out = run_plan(
-            plan, executor if executor is not None else default_executor(), [hook]
+            plan, executor if executor is not None else default_executor(), hooks
         )
 
         vec_coef = out.coef

@@ -17,6 +17,11 @@ from repro.pfs.hdf5 import Hyperslab, SimH5File
 from repro.simmpi.clock import TimeCategory
 from repro.simmpi.comm import SimComm
 from repro.simmpi.window import Window
+from repro.telemetry.recorder import (
+    DISTRIBUTION,
+    count as _tcount,
+    span as _tspan,
+)
 
 __all__ = ["RandomizedDistributor", "block_bounds"]
 
@@ -126,13 +131,23 @@ class RandomizedDistributor:
 
         # Group my needed rows by owner so each owner is hit with one
         # batched one-sided Get (the paper batches via derived windows).
-        owners = np.empty(mine.size, dtype=np.intp)
-        for i, row in enumerate(mine):
-            owners[i] = self.owner_of(int(row))
-        for owner in np.unique(owners):
-            sel = owners == owner
-            local_idx = mine[sel] - self._bounds[owner][0]
-            out[sel] = self._window.get(int(owner), local_idx)
+        with _tspan(
+            "distribution.sample",
+            DISTRIBUTION,
+            rank=self.comm.rank,
+            rows=int(mine.size),
+        ):
+            owners = np.empty(mine.size, dtype=np.intp)
+            for i, row in enumerate(mine):
+                owners[i] = self.owner_of(int(row))
+            gets = 0
+            for owner in np.unique(owners):
+                sel = owners == owner
+                local_idx = mine[sel] - self._bounds[owner][0]
+                out[sel] = self._window.get(int(owner), local_idx)
+                gets += 1
+        _tcount("tier2.gets", gets)
+        _tcount("tier2.bytes", int(out.nbytes))
         return out
 
     def barrier(self) -> None:

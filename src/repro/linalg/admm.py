@@ -33,6 +33,7 @@ import numpy as np
 import scipy.linalg
 
 from repro.linalg.soft_threshold import soft_threshold
+from repro.telemetry.recorder import count as _tcount, gauge as _tgauge
 
 __all__ = ["ADMMResult", "LassoADMM", "lasso_admm"]
 
@@ -55,8 +56,10 @@ class ADMMResult:
     objective:
         Final value of ``||y - X beta||^2 + lam ||beta||_1``.
     history:
-        Per-iteration ``(primal_residual, dual_residual)`` pairs, kept
-        only when ``record_history=True`` was requested.
+        Per-iteration ``(primal_residual, dual_residual, objective)``
+        triples, kept only when ``record_history=True`` was requested.
+        Always a list — **empty** (never ``None``) when recording is
+        off, so callers can iterate unconditionally.
     """
 
     beta: np.ndarray
@@ -65,7 +68,7 @@ class ADMMResult:
     primal_residual: float
     dual_residual: float
     objective: float
-    history: list[tuple[float, float]] = field(default_factory=list)
+    history: list[tuple[float, float, float]] = field(default_factory=list)
 
 
 class LassoADMM:
@@ -173,6 +176,7 @@ class LassoADMM:
             )
         self._chol_rho = rho
         self.factorizations += 1
+        _tcount("admm.factorizations")
 
     def _solve_normal(self, q: np.ndarray, rho: float) -> np.ndarray:
         """Solve ``(2 X'X + rho I) x = q`` using the cached factorization."""
@@ -232,7 +236,7 @@ class LassoADMM:
         if z.shape != (p,):
             raise ValueError(f"beta0 shape {z.shape} != ({p},)")
         u = np.zeros(p)
-        history: list[tuple[float, float]] = []
+        history: list[tuple[float, float, float]] = []
         rho = self.rho
         sqrtp = np.sqrt(p)
 
@@ -251,7 +255,7 @@ class LassoADMM:
             dz = z - z_old
             s_norm = rho * math.sqrt(float(dz @ dz))
             if record_history:
-                history.append((r_norm, s_norm))
+                history.append((r_norm, s_norm, self.objective(z, lam)))
 
             eps_pri = sqrtp * self.abstol + self.reltol * max(
                 math.sqrt(float(x @ x)), math.sqrt(float(z @ z))
@@ -274,6 +278,16 @@ class LassoADMM:
                 elif s_norm > self.adapt_mu * r_norm:
                     rho /= self.adapt_tau
                     u *= self.adapt_tau
+
+        # One soft-threshold per iteration; no-ops unless a telemetry
+        # recorder is installed for this run.
+        _tcount("admm.solves")
+        _tcount("admm.iterations", it)
+        _tcount("admm.soft_thresholds", it)
+        if converged:
+            _tcount("admm.converged")
+        _tgauge("admm.primal_residual", r_norm)
+        _tgauge("admm.dual_residual", s_norm)
 
         return ADMMResult(
             beta=z,

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.linalg.soft_threshold import soft_threshold
+from repro.telemetry.recorder import count as _tcount, gauge as _tgauge
 
 __all__ = ["lasso_cd", "precompute_gram"]
 
@@ -150,11 +151,14 @@ def lasso_cd(
 
     all_indices = range(p)
     sweeps_left = max_iter
+    converged = False
+    delta = np.inf
     while sweeps_left > 0:
         # Full sweep: updates everything and discovers new actives.
         delta = sweep(all_indices)
         sweeps_left -= 1
         if delta < tol:
+            converged = True
             break
         # Inner sweeps over the active set only.
         while sweeps_left > 0:
@@ -165,4 +169,10 @@ def lasso_cd(
             sweeps_left -= 1
             if delta < tol:
                 break
+
+    _tcount("cd.solves")
+    _tcount("cd.sweeps", max_iter - sweeps_left)
+    if converged:
+        _tcount("cd.converged")
+    _tgauge("cd.last_delta", delta)
     return beta

@@ -45,6 +45,7 @@ from repro.perf.flops import (
 )
 from repro.simmpi.comm import SimComm
 from repro.simmpi.reduce_ops import SUM
+from repro.telemetry.recorder import count as _tcount, gauge as _tgauge
 
 __all__ = ["ConsensusResult", "consensus_lasso_admm"]
 
@@ -235,6 +236,18 @@ def consensus_lasso_admm(
                 rho /= adapt_tau
                 u *= adapt_tau
                 solve_normal = make_solver(rho)
+
+    # One soft-threshold and one fused allreduce per iteration (the
+    # call the paper's communication bar is made of); no-ops unless a
+    # telemetry recorder is installed on this rank.
+    _tcount("consensus.solves")
+    _tcount("consensus.iterations", it)
+    _tcount("consensus.soft_thresholds", it)
+    _tcount("consensus.allreduces", it)
+    if converged:
+        _tcount("consensus.converged")
+    _tgauge("consensus.primal_residual", r_norm)
+    _tgauge("consensus.dual_residual", s_norm)
 
     return ConsensusResult(
         beta=z,

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.telemetry.recorder import count as _tcount
+
 __all__ = ["ols", "ols_on_support"]
 
 
@@ -28,6 +30,8 @@ def ols(X: np.ndarray, y: np.ndarray) -> np.ndarray:
     if y.shape != (X.shape[0],):
         raise ValueError(f"y shape {y.shape} incompatible with X {X.shape}")
     beta, *_ = np.linalg.lstsq(X, y, rcond=None)
+    _tcount("ols.solves")
+    _tcount("ols.rows", X.shape[0])
     return beta
 
 
@@ -71,4 +75,6 @@ def ols_on_support(
     beta = np.zeros(p)
     if idx.size:
         beta[idx] = ols(X[:, idx], np.asarray(y, dtype=float))
+    else:
+        _tcount("ols.empty_supports")
     return beta

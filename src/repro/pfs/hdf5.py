@@ -21,6 +21,7 @@ from repro.pfs import lustre
 from repro.simmpi.clock import RankClock, TimeCategory
 from repro.simmpi.comm import SimComm
 from repro.simmpi.machine import MachineModel
+from repro.telemetry.recorder import DATA_IO, count as _tcount, span as _tspan
 
 __all__ = ["Hyperslab", "SimDataset", "SimH5File"]
 
@@ -158,7 +159,12 @@ class SimH5File:
         selected bytes at the single-stream rate.
         """
         ds = self.dataset(name)
-        out = ds.select(slab)
+        with _tspan(
+            "hdf5.read_serial", DATA_IO, path=self.path, dataset=name
+        ):
+            out = ds.select(slab)
+        _tcount("io.bytes_read", out.nbytes)
+        _tcount("io.serial_reads")
         self.open_count += 1
         if clock is not None:
             if machine is None:
@@ -188,7 +194,16 @@ class SimH5File:
         to every rank under DATA_IO.
         """
         ds = self.dataset(name)
-        out = ds.select(slab)
+        with _tspan(
+            "hdf5.read_parallel",
+            DATA_IO,
+            path=self.path,
+            dataset=name,
+            rank=comm.rank,
+        ):
+            out = ds.select(slab)
+        _tcount("io.bytes_read", out.nbytes)
+        _tcount("io.parallel_reads")
         total = comm.allreduce(
             float(out.nbytes), category=TimeCategory.DATA_IO
         )
@@ -213,8 +228,16 @@ class SimH5File:
         Rank-ordered row blocks are concatenated into (or replace) the
         dataset; cost modeled like a parallel read of the same volume.
         """
-        blocks = comm.allgather(local_rows, category=TimeCategory.DATA_IO)
-        data = np.concatenate([np.atleast_2d(b) for b in blocks], axis=0)
+        with _tspan(
+            "hdf5.write_parallel",
+            DATA_IO,
+            path=self.path,
+            dataset=name,
+            rank=comm.rank,
+        ):
+            blocks = comm.allgather(local_rows, category=TimeCategory.DATA_IO)
+            data = np.concatenate([np.atleast_2d(b) for b in blocks], axis=0)
+        _tcount("io.bytes_written", int(np.asarray(local_rows).nbytes))
         seconds = lustre.parallel_read_time(
             comm.machine,
             int(data.nbytes),

@@ -1,0 +1,264 @@
+"""Low-overhead wall-clock telemetry primitives.
+
+The paper attributes runtime to four categories — *Computation /
+Communication / Distribution / Data I/O* — using profiler tooling
+(Intel Advisor, MPI timers).  :mod:`repro.simmpi` reproduces that for
+*simulated* time on the virtual clocks; this module is the real-time
+counterpart: a :class:`Recorder` collects wall-clock :class:`Span`
+intervals, monotonic :class:`Counter` totals and last-value
+:class:`Gauge` readings from anywhere in the process, so real
+executions through the engine backends produce the same
+category-attributed breakdowns the simulator does.
+
+Instrumentation sites stay one-liners through a context-var *current
+recorder*: :func:`count`, :func:`gauge` and :func:`span` consult
+:data:`_current`, and when no recorder is installed they are no-ops
+whose only cost is one ``ContextVar.get`` — measured in
+``benchmarks/bench_ablation_telemetry.py`` to keep hot solver paths
+honest.  Install a recorder for a region with :func:`use_recorder`
+(or let :class:`repro.telemetry.hook.TelemetryHook` install one for
+the duration of an engine run).
+
+Thread-safety: simulated MPI ranks are *threads* sharing one process,
+so every :class:`Recorder` mutation takes an internal lock.  Note
+that ``contextvars`` are per-thread: a recorder installed on the main
+thread is not visible to worker threads or processes unless they
+install it themselves (the distributed drivers install one per rank;
+multiprocess pool workers run uninstrumented — their spans would die
+with the worker anyway — which is why the engine replays hook events
+in the parent).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "COMPUTATION",
+    "COMMUNICATION",
+    "DISTRIBUTION",
+    "DATA_IO",
+    "CATEGORIES",
+    "Span",
+    "Counter",
+    "Gauge",
+    "Recorder",
+    "current_recorder",
+    "use_recorder",
+    "span",
+    "count",
+    "gauge",
+]
+
+#: Category names, matching :data:`repro.perf.report.CATEGORY_ORDER`
+#: (the string values of :class:`repro.simmpi.clock.TimeCategory`).
+COMPUTATION = "computation"
+COMMUNICATION = "communication"
+DISTRIBUTION = "distribution"
+DATA_IO = "data_io"
+CATEGORIES = (COMPUTATION, COMMUNICATION, DISTRIBUTION, DATA_IO)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named wall-clock interval attributed to a category.
+
+    Attributes
+    ----------
+    name:
+        Dotted event name (``"subproblem:sel/k0/j1"``, ``"hdf5.read_parallel"``).
+    category:
+        One of :data:`CATEGORIES`.
+    start, end:
+        ``perf_counter`` seconds, relative to the recorder's epoch.
+    attrs:
+        Free-form JSON-serializable annotations (stage, key, nbytes, ...).
+    """
+
+    name: str
+    category: str
+    start: float
+    end: float
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Counter:
+    """Monotonic named total (e.g. solver iterations, bytes read)."""
+
+    name: str
+    value: float = 0.0
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+@dataclass
+class Gauge:
+    """Last-value reading (e.g. a solve's final primal residual)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Recorder:
+    """Thread-safe collector of spans, counters and gauges.
+
+    All timestamps are taken from ``clock`` (default
+    ``time.perf_counter``) and stored relative to the recorder's
+    *epoch* — the clock reading at construction — so exported traces
+    start near zero regardless of process uptime.  ``clock`` is
+    injectable for deterministic tests.
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.epoch = float(clock())
+        self.spans: list[Span] = []
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+
+    # ------------------------------------------------------------ time
+    def now(self) -> float:
+        """Seconds since the recorder's epoch."""
+        return float(self._clock()) - self.epoch
+
+    # ----------------------------------------------------------- spans
+    def add_span(
+        self, name: str, category: str, start: float, end: float, **attrs
+    ) -> Span:
+        """Record one interval (epoch-relative seconds); returns it."""
+        if category not in CATEGORIES:
+            raise ValueError(
+                f"unknown category {category!r}; choose from {CATEGORIES}"
+            )
+        if end < start:
+            raise ValueError(f"span end {end} before start {start}")
+        s = Span(name, category, float(start), float(end), attrs)
+        with self._lock:
+            self.spans.append(s)
+        return s
+
+    @contextmanager
+    def span(self, name: str, category: str, **attrs):
+        """Context manager timing its body as one span."""
+        start = self.now()
+        try:
+            yield
+        finally:
+            self.add_span(name, category, start, self.now(), **attrs)
+
+    # -------------------------------------------------- counters/gauges
+    def count(self, name: str, delta: float = 1.0) -> None:
+        """Add ``delta`` to the named counter (created at zero)."""
+        with self._lock:
+            c = self.counters.get(name)
+            if c is None:
+                c = self.counters[name] = Counter(name)
+            c.add(delta)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to ``value``."""
+        with self._lock:
+            g = self.gauges.get(name)
+            if g is None:
+                g = self.gauges[name] = Gauge(name)
+            g.set(value)
+
+    # --------------------------------------------------------- queries
+    def category_seconds(self) -> dict[str, float]:
+        """Summed span duration per category (all categories present)."""
+        out = {c: 0.0 for c in CATEGORIES}
+        with self._lock:
+            for s in self.spans:
+                out[s.category] += s.duration
+        return out
+
+    def counter_values(self) -> dict[str, float]:
+        with self._lock:
+            return {name: c.value for name, c in self.counters.items()}
+
+    def gauge_values(self) -> dict[str, float]:
+        with self._lock:
+            return {name: g.value for name, g in self.gauges.items()}
+
+    def spans_named(self, prefix: str) -> list[Span]:
+        """Spans whose name starts with ``prefix``, in record order."""
+        with self._lock:
+            return [s for s in self.spans if s.name.startswith(prefix)]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.spans)
+
+
+# ---------------------------------------------------------------------------
+# current-recorder plumbing (the one-liner instrumentation surface)
+# ---------------------------------------------------------------------------
+_current: contextvars.ContextVar[Recorder | None] = contextvars.ContextVar(
+    "repro_telemetry_recorder", default=None
+)
+
+
+def current_recorder() -> Recorder | None:
+    """The recorder instrumentation sites feed, or ``None`` (disabled)."""
+    return _current.get()
+
+
+@contextmanager
+def use_recorder(recorder: Recorder):
+    """Install ``recorder`` as current for the ``with`` body (this thread)."""
+    token = _current.set(recorder)
+    try:
+        yield recorder
+    finally:
+        _current.reset(token)
+
+
+class _NullSpan:
+    """Reusable no-op context manager for disabled telemetry."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, category: str, **attrs):
+    """Span context manager against the current recorder; no-op if none."""
+    rec = _current.get()
+    if rec is None:
+        return _NULL_SPAN
+    return rec.span(name, category, **attrs)
+
+
+def count(name: str, delta: float = 1.0) -> None:
+    """Bump a counter on the current recorder; no-op if none."""
+    rec = _current.get()
+    if rec is not None:
+        rec.count(name, delta)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge on the current recorder; no-op if none."""
+    rec = _current.get()
+    if rec is not None:
+        rec.gauge(name, value)

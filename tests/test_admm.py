@@ -86,6 +86,32 @@ class TestLassoADMM:
         # Residuals should broadly decrease.
         assert res.history[-1][0] < res.history[0][0]
 
+    def test_history_records_objective_triples(self, problem):
+        """Regression: history carries (primal, dual, objective) triples."""
+        X, y, _ = problem
+        solver = LassoADMM(X, y)
+        res = solver.solve(4.0, record_history=True)
+        assert all(len(entry) == 3 for entry in res.history)
+        # The recorded objective is the paper-eq.-(2) value, so the
+        # final entry must match the result's own objective field.
+        assert res.history[-1][2] == pytest.approx(res.objective)
+        # ADMM is not monotone per-iteration, but the objective must
+        # broadly decrease from the zero/warm start to the solution.
+        assert res.history[-1][2] < res.history[0][2]
+        # Every recorded value is a finite float.
+        for r_norm, s_norm, obj in res.history:
+            assert np.isfinite(r_norm) and np.isfinite(s_norm)
+            assert np.isfinite(obj)
+
+    def test_history_empty_list_when_recording_off(self, problem):
+        """history is an empty list — never None — when recording is off."""
+        X, y, _ = problem
+        res = LassoADMM(X, y).solve(4.0)
+        assert res.history == []
+        assert res.history is not None
+        # Callers can iterate unconditionally.
+        assert [e for e in res.history] == []
+
     def test_woodbury_path_matches_cholesky(self):
         """p > n triggers the matrix-inversion-lemma factorization."""
         rng = np.random.default_rng(3)

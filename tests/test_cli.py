@@ -88,6 +88,59 @@ class TestEngine:
             main(["engine", "--machine", "cray-1"])
 
 
+class TestTrace:
+    @pytest.fixture(scope="class")
+    def recorded(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("trace-cli")
+        assert main(
+            ["trace", "record", "-o", str(out), "--kind", "lasso",
+             "--n", "64", "--p", "8"]
+        ) == 0
+        return out
+
+    def test_record_exports_manifest_and_trace(self, recorded, capsys):
+        manifest = recorded / "manifest-serial_uoi_lasso.jsonl"
+        trace = recorded / "trace-serial_uoi_lasso.json"
+        assert manifest.exists() and trace.exists()
+
+    def test_summary_renders_breakdown(self, recorded, capsys):
+        manifest = recorded / "manifest-serial_uoi_lasso.jsonl"
+        assert main(["trace", "summary", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "runtime breakdown" in out
+        assert "computation" in out and "data_io" in out
+        assert "admm.solves" in out
+
+    def test_validate_accepts_good_trace(self, recorded, capsys):
+        trace = recorded / "trace-serial_uoi_lasso.json"
+        assert main(["trace", "validate", str(trace)]) == 0
+        assert "ok (" in capsys.readouterr().out
+
+    def test_validate_rejects_bad_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [{"ph": "??"}]}')
+        assert main(["trace", "validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_chrome_conversion_roundtrip(self, recorded, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import validate_chrome_trace
+
+        manifest = recorded / "manifest-serial_uoi_lasso.jsonl"
+        out = tmp_path / "out.json"
+        assert main(["trace", "chrome", str(manifest), "-o", str(out)]) == 0
+        with open(out, "r", encoding="utf-8") as fh:
+            assert validate_chrome_trace(json.load(fh)) == []
+
+    def test_diff_of_identical_runs(self, recorded, capsys):
+        manifest = str(recorded / "manifest-serial_uoi_lasso.jsonl")
+        assert main(["trace", "diff", manifest, manifest]) == 0
+        out = capsys.readouterr().out
+        assert "delta +0" in out
+        assert "breakdown (s)" in out
+
+
 class TestExperimentRegistry:
     def test_registry_matches_modules(self):
         import importlib

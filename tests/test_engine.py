@@ -9,6 +9,8 @@ from repro.engine import (
     BACKENDS,
     ESTIMATION,
     SELECTION,
+    EngineHook,
+    HookList,
     LassoPlan,
     MultiprocessExecutor,
     ProgressHook,
@@ -150,6 +152,96 @@ class TestHookDispatch:
         run_plan(plan, SerialExecutor(), [hook])
         assert hook.done == hook.totals == {SELECTION: 2, ESTIMATION: 2}
         assert (SELECTION, 2, 2) in seen and (ESTIMATION, 2, 2) in seen
+
+
+class _TaggedHook(EngineHook):
+    """Appends (tag, event, detail) to a shared log for order assertions."""
+
+    def __init__(self, tag, log, *, serves=()):
+        self.tag = tag
+        self.log = log
+        self.serves = dict(serves)
+
+    def lookup(self, task):
+        self.log.append((self.tag, "lookup", task.key))
+        return self.serves.get(task.key)
+
+    def on_subproblem_done(self, task, payload, *, recovered):
+        self.log.append((self.tag, "done", task.key, recovered))
+
+    def on_stage_end(self, stage, plan):
+        self.log.append((self.tag, "stage_end", stage))
+
+
+class TestHookListOrdering:
+    """Satellite contract: the composite semantics TelemetryHook rides on."""
+
+    def _task(self, plan):
+        return plan.chains(SELECTION)[0][0]
+
+    def test_lookup_first_non_none_wins(self, lasso_data):
+        plan = LassoPlan(LASSO_CFG, lasso_data.X, lasso_data.y)
+        task = self._task(plan)
+        log = []
+        first = _TaggedHook("a", log, serves={task.key: {"hit": "a"}})
+        second = _TaggedHook("b", log, serves={task.key: {"hit": "b"}})
+        hooks = HookList([first, second])
+        assert hooks.lookup(task) == {"hit": "a"}
+        # The second child is never even consulted once the first hit.
+        assert log == [("a", "lookup", task.key)]
+
+    def test_lookup_falls_through_none(self, lasso_data):
+        plan = LassoPlan(LASSO_CFG, lasso_data.X, lasso_data.y)
+        task = self._task(plan)
+        log = []
+        first = _TaggedHook("a", log)  # serves nothing
+        second = _TaggedHook("b", log, serves={task.key: {"hit": "b"}})
+        hooks = HookList([first, second])
+        assert hooks.lookup(task) == {"hit": "b"}
+        assert [e[0] for e in log] == ["a", "b"]
+
+    def test_done_and_stage_end_fire_on_every_child_in_order(self, lasso_data):
+        plan = LassoPlan(LASSO_CFG, lasso_data.X, lasso_data.y)
+        task = self._task(plan)
+        log = []
+        hooks = HookList([_TaggedHook("a", log), _TaggedHook("b", log)])
+        hooks.on_subproblem_done(task, {}, recovered=True)
+        hooks.on_stage_end(SELECTION, plan)
+        assert log == [
+            ("a", "done", task.key, True),
+            ("b", "done", task.key, True),
+            ("a", "stage_end", SELECTION),
+            ("b", "stage_end", SELECTION),
+        ]
+
+    def test_recovery_still_notifies_later_children(self, lasso_data):
+        """A child that recovers a task does not swallow anyone's events.
+
+        This is exactly what TelemetryHook depends on: registered
+        *after* CheckpointHook, it must still see every subproblem —
+        with ``recovered=True`` for the ones the checkpoint served.
+        """
+        import tempfile
+
+        from repro.resilience.checkpoint import CheckpointPlan, CheckpointStore
+
+        plan = LassoPlan(LASSO_CFG, lasso_data.X, lasso_data.y)
+        total = plan.describe()["subproblems"]
+        with tempfile.TemporaryDirectory() as store_dir:
+            ckpt = CheckpointPlan(CheckpointStore(store_dir))
+            # First run populates the store; second run recovers all.
+            UoILasso(LASSO_CFG).fit(lasso_data.X, lasso_data.y, checkpoint=ckpt)
+            model = UoILasso(LASSO_CFG).fit(
+                lasso_data.X, lasso_data.y, checkpoint=ckpt, telemetry=True
+            )
+            tel = model.telemetry_
+            # TelemetryHook is registered after CheckpointHook, yet saw
+            # every subproblem, all attributed as recovered.
+            assert len(tel.subproblem_spans()) == total
+            assert all(s.attrs["recovered"] for s in tel.subproblem_spans())
+            summary = tel.summary()
+            assert summary["recovered"] == total
+            assert summary["solved"] == 0
 
 
 class TestBackendRegistry:
