@@ -1,0 +1,61 @@
+"""Correctness tooling for the SPMD substrate (``repro.analysis``).
+
+Two complementary halves, one findings currency:
+
+* :mod:`repro.analysis.linter` — an AST-based **static SPMD linter**
+  enforcing the communication discipline the paper's implementation
+  depends on (rules ``SPMD001``-``SPMD004``), with per-line
+  ``# repro: ignore[RULE]`` suppressions;
+* :mod:`repro.analysis.dynamic` — **runtime checkers** wired into
+  :mod:`repro.simmpi` via ``run_spmd(checker=...)``: a per-
+  communicator collective-matching validator, an RMA fence-epoch race
+  detector, and a deadlock reporter (rules ``DYN201``-``DYN204``).
+
+``repro check lint|dynamic|all`` (see :mod:`repro.analysis.check`)
+runs both and gates CI on zero findings; every rule is documented in
+``docs/static-analysis.md``.
+"""
+
+from repro.analysis.findings import (
+    ERROR,
+    INFO,
+    SEVERITIES,
+    WARNING,
+    Finding,
+    findings_from_json,
+    findings_to_json,
+    format_findings,
+)
+from repro.analysis.rules import DYNAMIC_RULES, RULES, STATIC_RULES, Rule, get_rule
+from repro.analysis.linter import (
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.dynamic import CollectiveMismatchError, DynamicChecker
+from repro.analysis.check import MODES, run_check, run_dynamic, run_lint
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "SEVERITIES",
+    "Finding",
+    "findings_to_json",
+    "findings_from_json",
+    "format_findings",
+    "Rule",
+    "RULES",
+    "STATIC_RULES",
+    "DYNAMIC_RULES",
+    "get_rule",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "DynamicChecker",
+    "CollectiveMismatchError",
+    "MODES",
+    "run_check",
+    "run_lint",
+    "run_dynamic",
+]

@@ -1,0 +1,130 @@
+"""The ``repro check`` gate: run the static and dynamic checkers.
+
+``repro check lint`` lints ``src/repro``; ``repro check dynamic`` runs
+a battery of real communication workloads — a distributed UoI_LASSO
+fit, an all-collectives exerciser, and the two RMA-heavy distribution
+paths (Tier-2 shuffle, distributed Kronecker build) — under a
+:class:`~repro.analysis.dynamic.DynamicChecker`; ``repro check all``
+does both.  The gate is **zero findings**: CI fails on any.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.dynamic import DynamicChecker
+from repro.analysis.findings import Finding
+from repro.analysis.linter import lint_paths
+
+__all__ = ["run_lint", "run_dynamic", "run_check", "MODES"]
+
+MODES = ("lint", "dynamic", "all")
+
+
+def run_lint(paths: Sequence[str] | None = None) -> list[Finding]:
+    """Static SPMD lint over ``paths`` (default: the installed ``repro``)."""
+    return lint_paths(paths)
+
+
+def _exercise_collectives(nranks: int) -> DynamicChecker:
+    """Every collective kind once, checked, on ``nranks`` ranks."""
+    from repro.simmpi import LAPTOP, MIN, SUM, run_spmd
+
+    checker = DynamicChecker()
+
+    def program(comm):
+        v = np.arange(4.0) + comm.rank
+        comm.allreduce(v, SUM)
+        comm.allreduce(v, MIN)
+        comm.bcast(v if comm.rank == 0 else None, root=0)
+        comm.barrier()
+        comm.reduce(v, SUM, root=0)
+        comm.gather(comm.rank, root=0)
+        comm.allgather(comm.rank)
+        comm.scatter(list(range(comm.size)) if comm.rank == 0 else None, root=0)
+        comm.alltoall([comm.rank * 100 + j for j in range(comm.size)])
+        comm.reduce_scatter(np.ones(comm.size, dtype=float), SUM)
+        comm.scan(float(comm.rank), SUM)
+        req = comm.iallreduce(v, SUM)
+        req.wait()
+        comm.ibarrier().wait()
+        sub = comm.split(color=comm.rank % 2)
+        sub.allreduce(float(comm.rank), SUM)
+        return None
+
+    run_spmd(nranks, program, machine=LAPTOP, checker=checker)
+    return checker
+
+
+def _exercise_rma(nranks: int) -> DynamicChecker:
+    """Fenced one-sided traffic on both distribution paths, checked."""
+    from repro.distribution.kron_dist import DistributedKron
+    from repro.distribution.randomized import RandomizedDistributor
+    from repro.pfs import SimH5File
+    from repro.simmpi import LAPTOP, run_spmd
+
+    checker = DynamicChecker()
+    rng = np.random.default_rng(7)
+    data = rng.standard_normal((32, 5))
+    file = SimH5File("/check.h5")
+    file.create_dataset("data", data)
+    series = rng.standard_normal((24, 3))
+
+    def program(comm):
+        dist = RandomizedDistributor(comm, file, "data")
+        rows = np.random.default_rng(11).integers(0, 32, size=16)
+        dist.sample(rows)
+        dist.barrier()
+        dist.sample(rows[::-1])
+        dist.close()
+
+        X, Y = series[:-1], series[1:]
+        kron = DistributedKron(
+            comm,
+            X if comm.rank == 0 else None,
+            Y if comm.rank == 0 else None,
+            n_readers=1,
+        )
+        kron.build_local()
+        kron.close()
+        return None
+
+    run_spmd(nranks, program, machine=LAPTOP, checker=checker)
+    return checker
+
+
+def _exercise_fit(nranks: int) -> DynamicChecker:
+    """A checked end-to-end distributed UoI_LASSO fit."""
+    from repro.experiments._functional import mini_uoi_lasso_run
+
+    checker = DynamicChecker()
+    mini_uoi_lasso_run(nranks=nranks, n=64, p=8, checker=checker)
+    return checker
+
+
+def run_dynamic(*, nranks: int = 4) -> list[Finding]:
+    """Run the checked workload battery; returns every finding."""
+    findings: list[Finding] = []
+    for exercise in (_exercise_collectives, _exercise_rma, _exercise_fit):
+        checker = exercise(nranks)
+        findings.extend(checker.findings)
+    return findings
+
+
+def run_check(
+    mode: str = "all",
+    *,
+    paths: Sequence[str] | None = None,
+    nranks: int = 4,
+) -> list[Finding]:
+    """Run the selected checkers; the gate passes iff the list is empty."""
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    findings: list[Finding] = []
+    if mode in ("lint", "all"):
+        findings.extend(run_lint(paths))
+    if mode in ("dynamic", "all"):
+        findings.extend(run_dynamic(nranks=nranks))
+    return findings

@@ -1,0 +1,358 @@
+"""Runtime SPMD checkers for the simulated MPI substrate.
+
+A :class:`DynamicChecker` is handed to
+:func:`repro.simmpi.run_spmd(checker=...) <repro.simmpi.run_spmd>` and
+receives callbacks from the communication layer while the program
+runs:
+
+* **Collective matching** (``DYN201``/``DYN202``) — every collective
+  contribution carries a little metadata record (operation kind,
+  reduce op, root, payload dtype/shape, call site); when the last rank
+  arrives the checker validates that all ranks agree *before* the
+  payloads are combined, catching rank-divergent call sequences and
+  silently rank-dependent reductions.
+* **RMA epoch races** (``DYN203``) — every ``Window.get``/``put``/
+  ``accumulate`` is recorded against its fence epoch; at each fence
+  (and at job end) the epoch's accesses are checked pairwise for
+  conflicting overlap on the same target rows.
+* **Deadlock reporting** (``DYN204``) — when the runtime's timeout
+  abort fires, the checker records a finding naming every blocked
+  rank and the call each was waiting in.
+
+The checker is pure observation: it never touches payloads, so runs
+with a checker attached are bitwise identical to runs without
+(asserted in ``tests/test_analysis_dynamic.py``).  The hooks are
+consulted only when a checker is attached; the disabled-path cost is
+one ``is None`` test per operation.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import get_rule
+
+__all__ = ["DynamicChecker", "CollectiveMismatchError", "call_site"]
+
+#: Files whose frames are skipped when attributing a dynamic finding
+#: to a user call site.
+_INTERNAL_FILES = (
+    os.path.join("simmpi", "comm.py"),
+    os.path.join("simmpi", "window.py"),
+    os.path.join("simmpi", "executor.py"),
+    os.path.join("analysis", "dynamic.py"),
+)
+
+
+class CollectiveMismatchError(RuntimeError):
+    """Raised at the mismatched collective when a checker detects that
+    ranks posted different operation kinds to one sequence point."""
+
+
+def call_site() -> tuple[str, int]:
+    """``(file, line)`` of the innermost non-runtime caller frame."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not filename.endswith(_INTERNAL_FILES):
+            return filename, frame.f_lineno
+        frame = frame.f_back
+    return "<unknown>", 0
+
+
+def _describe_value(value: Any) -> dict:
+    """Shape/dtype summary of a collective contribution."""
+    if isinstance(value, np.ndarray):
+        return {"dtype": str(value.dtype), "shape": list(value.shape)}
+    return {"dtype": type(value).__name__, "shape": None}
+
+
+def _key_footprint(key: Any, length: int) -> tuple:
+    """Normalize an RMA index key to ``(rows, cols)`` for overlap tests.
+
+    ``rows`` is a frozenset of first-axis indices when the key is
+    analyzable (int / slice / integer array, or a tuple whose first
+    element is one), else ``None`` meaning *potentially everything*.
+    ``cols`` is ``None`` (whole rows) or the ``repr`` of the trailing
+    index components.
+    """
+    cols: str | None = None
+    head = key
+    if isinstance(key, tuple):
+        head = key[0] if key else slice(None)
+        if len(key) > 1:
+            cols = repr(key[1:])
+    rows: frozenset | None
+    if isinstance(head, (int, np.integer)):
+        idx = int(head)
+        rows = frozenset({idx % length if length else idx})
+    elif isinstance(head, slice):
+        rows = frozenset(range(*head.indices(length)))
+    elif isinstance(head, (list, np.ndarray)):
+        arr = np.asarray(head)
+        if arr.dtype == bool:
+            rows = frozenset(np.flatnonzero(arr).tolist())
+        elif np.issubdtype(arr.dtype, np.integer):
+            rows = frozenset(int(i) % length if length else int(i) for i in arr.ravel())
+        else:
+            rows = None
+    else:
+        rows = None
+    return rows, cols
+
+
+def _footprints_conflict(a: tuple, b: tuple) -> bool:
+    rows_a, cols_a = a
+    rows_b, cols_b = b
+    if rows_a is not None and rows_b is not None and not (rows_a & rows_b):
+        return False
+    if cols_a is not None and cols_b is not None and cols_a != cols_b:
+        return False
+    return True
+
+
+class DynamicChecker:
+    """Thread-safe collector of runtime SPMD findings.
+
+    Parameters
+    ----------
+    raise_on_mismatch:
+        When True (default), a collective *kind* mismatch (``DYN201``)
+        raises :class:`CollectiveMismatchError` in the arriving rank
+        after recording the finding — without this the runtime would
+        combine unrelated payloads and fail somewhere far from the
+        cause.  Argument-level mismatches (``DYN202``) and RMA races
+        (``DYN203``) are recorded but never raise: the checked program
+        runs to completion bitwise-identically.
+    """
+
+    def __init__(self, *, raise_on_mismatch: bool = True) -> None:
+        self.raise_on_mismatch = raise_on_mismatch
+        self.findings: list[Finding] = []
+        self._lock = threading.Lock()
+        #: (comm_id, seq) -> {rank: meta}; dropped after validation.
+        self._slots: dict[tuple[int, int], dict[int, dict]] = {}
+        #: (win_id, epoch) -> list of access records.
+        self._epochs: dict[tuple[int, int], list[dict]] = {}
+        self._analyzed: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------- core
+    def _emit(self, rule_id: str, message: str, site: tuple[str, int], **context) -> Finding:
+        rule = get_rule(rule_id)
+        finding = Finding(
+            rule=rule.id,
+            severity=rule.severity,
+            message=message,
+            file=site[0],
+            line=site[1],
+            source="dynamic",
+            context=context,
+        )
+        with self._lock:
+            self.findings.append(finding)
+        return finding
+
+    def findings_for(self, rule_id: str) -> list[Finding]:
+        with self._lock:
+            return [f for f in self.findings if f.rule == rule_id]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.findings)
+
+    # ------------------------------------------------------ collectives
+    def collective_meta(
+        self,
+        kind: str,
+        value: Any = None,
+        *,
+        op: str | None = None,
+        root: int | None = None,
+        checked_value: bool = True,
+    ) -> dict:
+        """Build one rank's contribution record (called by ``SimComm``)."""
+        meta: dict[str, Any] = {"kind": kind, "site": call_site()}
+        if op is not None:
+            meta["op"] = op
+        if root is not None:
+            meta["root"] = root
+        if checked_value:
+            meta.update(_describe_value(value))
+        return meta
+
+    def on_collective_contribution(
+        self, comm_id: int, comm_size: int, seq: int, rank: int, meta: dict
+    ) -> None:
+        """Register one rank's contribution; validate on the last one."""
+        with self._lock:
+            slot = self._slots.setdefault((comm_id, seq), {})
+            slot[rank] = meta
+            if len(slot) < comm_size:
+                return
+            del self._slots[(comm_id, seq)]
+        self._validate_slot(comm_id, seq, slot)
+
+    def _validate_slot(self, comm_id: int, seq: int, metas: dict[int, dict]) -> None:
+        by_rank = sorted(metas.items())
+        kinds = {m["kind"] for _, m in by_rank}
+        if len(kinds) > 1:
+            per_rank = {r: m["kind"] for r, m in by_rank}
+            sites = {r: f"{m['site'][0]}:{m['site'][1]}" for r, m in by_rank}
+            finding = self._emit(
+                "DYN201",
+                f"collective sequence mismatch at seq {seq}: ranks called "
+                + ", ".join(f"rank {r}: {k}" for r, k in per_rank.items()),
+                by_rank[0][1]["site"],
+                seq=seq,
+                kinds=per_rank,
+                sites=sites,
+            )
+            if self.raise_on_mismatch:
+                raise CollectiveMismatchError(
+                    f"[{finding.rule}] {finding.message} "
+                    f"(sites: {', '.join(f'{r}={s}' for r, s in sites.items())})"
+                )
+            return
+
+        kind = by_rank[0][1]["kind"]
+        for attr, label in (("op", "reduce op"), ("root", "root")):
+            values = {m.get(attr) for _, m in by_rank}
+            if len(values) > 1:
+                self._emit(
+                    "DYN202",
+                    f"`{kind}` at seq {seq} called with mismatched {label}s "
+                    f"across ranks: {sorted(map(str, values))}",
+                    by_rank[0][1]["site"],
+                    seq=seq,
+                    kind=kind,
+                    attribute=attr,
+                    values={r: m.get(attr) for r, m in by_rank},
+                )
+
+        described = [(r, m) for r, m in by_rank if "dtype" in m]
+        if described:
+            dtypes = {m["dtype"] for _, m in described}
+            shapes = {
+                tuple(m["shape"]) if m["shape"] is not None else None
+                for _, m in described
+            }
+            if len(dtypes) > 1 or len(shapes) > 1:
+                self._emit(
+                    "DYN202",
+                    f"`{kind}` at seq {seq} called with mismatched "
+                    f"contributions across ranks: dtypes={sorted(dtypes)}, "
+                    f"shapes={sorted(map(str, shapes))}",
+                    by_rank[0][1]["site"],
+                    seq=seq,
+                    kind=kind,
+                    attribute="payload",
+                    dtypes={r: m["dtype"] for r, m in described},
+                    shapes={r: m["shape"] for r, m in described},
+                )
+
+    # -------------------------------------------------------------- rma
+    def on_rma(
+        self,
+        win_id: int,
+        epoch: int,
+        origin: int,
+        target: int,
+        op: str,
+        key: Any,
+        buffer_len: int,
+    ) -> None:
+        """Record one one-sided access (called by ``Window``)."""
+        record = {
+            "origin": origin,
+            "target": target,
+            "op": op,
+            "key": repr(key),
+            "footprint": _key_footprint(key, buffer_len),
+            "site": call_site(),
+        }
+        with self._lock:
+            self._epochs.setdefault((win_id, epoch), []).append(record)
+
+    def end_epoch(self, win_id: int, epoch: int) -> None:
+        """Analyze one closed fence epoch (idempotent across ranks)."""
+        with self._lock:
+            if (win_id, epoch) in self._analyzed:
+                return
+            self._analyzed.add((win_id, epoch))
+            accesses = self._epochs.pop((win_id, epoch), [])
+        self._analyze_epoch(epoch, accesses)
+
+    def finalize(self) -> None:
+        """Analyze every epoch never closed by a fence (job end)."""
+        with self._lock:
+            pending = [
+                (key, accesses)
+                for key, accesses in self._epochs.items()
+                if key not in self._analyzed
+            ]
+            for key, _ in pending:
+                self._analyzed.add(key)
+            self._epochs.clear()
+        for (win_id, epoch), accesses in pending:
+            self._analyze_epoch(epoch, accesses)
+
+    def _analyze_epoch(self, epoch: int, accesses: list[dict]) -> None:
+        writes = [a for a in accesses if a["op"] in ("put", "accumulate")]
+        if not writes:
+            return
+        reported: set[tuple] = set()
+        for w in writes:
+            for other in accesses:
+                if other is w:
+                    continue
+                if other["target"] != w["target"]:
+                    continue
+                if w["op"] == "accumulate" and other["op"] == "accumulate":
+                    continue  # concurrent same-op accumulates are ordered
+                if not _footprints_conflict(w["footprint"], other["footprint"]):
+                    continue
+                pair_id = (
+                    frozenset(
+                        (
+                            (w["origin"], w["op"], w["key"]),
+                            (other["origin"], other["op"], other["key"]),
+                        )
+                    ),
+                    w["target"],
+                )
+                if pair_id in reported:
+                    continue
+                reported.add(pair_id)
+                self._emit(
+                    "DYN203",
+                    f"RMA race in epoch {epoch}: `{w['op']}` from rank "
+                    f"{w['origin']} conflicts with `{other['op']}` from rank "
+                    f"{other['origin']} on target rank {w['target']} key "
+                    f"{w['key']} — separate them with a fence",
+                    w["site"],
+                    epoch=epoch,
+                    target=w["target"],
+                    ops=sorted({w["op"], other["op"]}),
+                    origins=sorted({w["origin"], other["origin"]}),
+                    keys=sorted({w["key"], other["key"]}),
+                    other_site=f"{other['site'][0]}:{other['site'][1]}",
+                )
+
+    # --------------------------------------------------------- deadlock
+    def on_deadlock(self, blocked: dict[int, str], reason: str) -> None:
+        """Record the runtime's deadlock report (called on timeout abort)."""
+        description = "; ".join(
+            f"rank {r} waiting in {call}" for r, call in sorted(blocked.items())
+        )
+        self._emit(
+            "DYN204",
+            f"deadlock: {reason} — blocked: {description or 'no ranks registered'}",
+            ("<runtime>", 0),
+            blocked={str(r): c for r, c in blocked.items()},
+        )

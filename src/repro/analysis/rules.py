@@ -1,0 +1,162 @@
+"""Rule registry for the SPMD linter and the simmpi dynamic checkers.
+
+Static rules (``SPMD0xx``) are produced by
+:mod:`repro.analysis.linter`; dynamic rules (``DYN2xx``) by
+:class:`repro.analysis.dynamic.DynamicChecker`.  Every rule documented
+here also appears, with an example and its suppression syntax, in
+``docs/static-analysis.md`` — keep the two in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.findings import ERROR, WARNING
+
+__all__ = ["Rule", "RULES", "STATIC_RULES", "DYNAMIC_RULES", "get_rule"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One checkable invariant.
+
+    Attributes
+    ----------
+    id:
+        Stable identifier (``SPMD001``); referenced by suppressions
+        (``# repro: ignore[SPMD001]``) and asserted on by tests.
+    name:
+        Short kebab-case slug.
+    severity:
+        Default severity of findings from this rule.
+    summary:
+        One-line statement of the invariant.
+    rationale:
+        Why violating it breaks an SPMD program (message shown in
+        ``docs/static-analysis.md``).
+    """
+
+    id: str
+    name: str
+    severity: str
+    summary: str
+    rationale: str
+
+
+STATIC_RULES = (
+    Rule(
+        id="SPMD001",
+        name="rank-conditional-collective",
+        severity=ERROR,
+        summary="collective call inside a rank-conditional branch",
+        rationale=(
+            "MPI collectives (allreduce, bcast, barrier, fence, ...) must "
+            "be reached by every rank of the communicator in the same "
+            "order; a collective guarded by `if comm.rank == ...` leaves "
+            "the other ranks blocked forever (or silently matches the "
+            "wrong call)."
+        ),
+    ),
+    Rule(
+        id="SPMD002",
+        name="global-numpy-rng",
+        severity=ERROR,
+        summary="np.random.* global-state RNG used instead of default_rng",
+        rationale=(
+            "The global numpy RNG is process-wide state: simulated ranks "
+            "are threads, so draws interleave nondeterministically and "
+            "bootstrap replay from a shared seed breaks. All randomness "
+            "must flow through an explicit np.random.default_rng(...) "
+            "Generator."
+        ),
+    ),
+    Rule(
+        id="SPMD003",
+        name="span-not-context-managed",
+        severity=WARNING,
+        summary="telemetry span opened without a `with` block",
+        rationale=(
+            "repro.telemetry.span(...) returns a context manager; a bare "
+            "call records nothing (the interval is never closed), so the "
+            "run's category breakdown silently loses that region."
+        ),
+    ),
+    Rule(
+        id="SPMD004",
+        name="rma-buffer-mutated",
+        severity=WARNING,
+        summary="buffer returned by Window.get mutated in place without a copy",
+        rationale=(
+            "Under real MPI RMA the origin buffer of a Get belongs to the "
+            "epoch until the next synchronization; mutating it in place "
+            "races the transfer. The simulator's Window.get returns a "
+            "private copy, so code relying on that is not portable to an "
+            "mpi4py backend — take an explicit .copy() before mutating."
+        ),
+    ),
+)
+
+DYNAMIC_RULES = (
+    Rule(
+        id="DYN201",
+        name="collective-sequence-mismatch",
+        severity=ERROR,
+        summary="ranks called different collectives at the same sequence point",
+        rationale=(
+            "Collectives match by call order per communicator; when rank "
+            "A's n-th collective is an allreduce and rank B's is a bcast, "
+            "the runtime combines unrelated payloads (or deadlocks). The "
+            "checker validates the operation kind of every contribution "
+            "before it is combined."
+        ),
+    ),
+    Rule(
+        id="DYN202",
+        name="collective-argument-mismatch",
+        severity=ERROR,
+        summary="collective called with mismatched op/root/dtype/shape across ranks",
+        rationale=(
+            "A reduction where ranks pass different ReduceOps (or "
+            "different dtypes/shapes, or different roots) silently uses "
+            "whichever rank combined last — a rank-dependent result that "
+            "no test at small scale reliably catches."
+        ),
+    ),
+    Rule(
+        id="DYN203",
+        name="rma-epoch-race",
+        severity=ERROR,
+        summary="conflicting RMA operations on one target location within an epoch",
+        rationale=(
+            "Between two Window.fence calls, a put/accumulate that "
+            "overlaps a get (or another put) on the same target rows is "
+            "unordered: MPI leaves the outcome undefined. Separate "
+            "conflicting accesses with a fence."
+        ),
+    ),
+    Rule(
+        id="DYN204",
+        name="deadlock",
+        severity=ERROR,
+        summary="ranks blocked forever in mismatched communication",
+        rationale=(
+            "A rank waiting in a collective or recv that its peers never "
+            "post can only time out; the reporter names every blocked "
+            "rank and the call each is waiting in so the mismatch is "
+            "diagnosable from one message."
+        ),
+    ),
+)
+
+#: id -> Rule for every rule, static and dynamic.
+RULES: dict[str, Rule] = {r.id: r for r in STATIC_RULES + DYNAMIC_RULES}
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up a rule by id; raises ``KeyError`` with the known ids."""
+    try:
+        return RULES[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {', '.join(sorted(RULES))}"
+        ) from None

@@ -24,6 +24,11 @@ Subcommands
     chain/subproblem counts per stage, checkpoint-key patterns, and
     the estimated floating-point cost (with modeled seconds on the
     chosen machine) — without solving anything.
+``check [lint|dynamic|all] [--format human|json] [-o FILE]``
+    Correctness gate: static SPMD lint over the installed ``repro``
+    package plus the dynamic (collective-matching / RMA-race /
+    deadlock) checker battery.  Exits 0 iff there are zero findings;
+    ``-o`` additionally writes the findings as JSON (the CI artifact).
 ``trace record|summary|chrome|diff|validate ...``
     Telemetry tooling: ``record`` runs small telemetry-enabled fits
     and exports their manifests + Chrome traces; ``summary`` renders a
@@ -154,6 +159,39 @@ def _build_parser() -> argparse.ArgumentParser:
         default="cori-knl",
         choices=sorted(_MACHINES),
         help="machine model used to convert FLOPs to modeled seconds",
+    )
+
+    check = sub.add_parser(
+        "check", help="run the SPMD correctness gate (lint + dynamic checkers)"
+    )
+    check.add_argument(
+        "mode",
+        nargs="?",
+        choices=["lint", "dynamic", "all"],
+        default="all",
+        help="which checkers to run (default: all)",
+    )
+    check.add_argument(
+        "--path",
+        action="append",
+        default=None,
+        metavar="PATH",
+        dest="paths",
+        help="lint these files/directories instead of the installed repro "
+        "package (repeatable)",
+    )
+    check.add_argument(
+        "--nranks", type=int, default=4, help="world size for the dynamic battery"
+    )
+    check.add_argument(
+        "--format",
+        choices=["human", "json"],
+        default="human",
+        help="findings output format on stdout",
+    )
+    check.add_argument(
+        "-o", "--out", default=None, metavar="FILE",
+        help="also write findings as JSON to FILE (CI artifact)",
     )
 
     trace = sub.add_parser("trace", help="telemetry manifests and Chrome traces")
@@ -325,6 +363,22 @@ def _summarize_manifest(path: str) -> None:
             print(f"  {name:<{width}}  {counters[name]:.6g}")
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis import findings_to_json, format_findings, run_check
+
+    findings = run_check(args.mode, paths=args.paths, nranks=args.nranks)
+    if args.format == "json":
+        print(findings_to_json(findings))
+    else:
+        print(format_findings(findings))
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(findings_to_json(findings))
+            fh.write("\n")
+        print(f"wrote {args.out} ({len(findings)} finding(s))")
+    return 1 if findings else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "record":
         import numpy as np
@@ -448,6 +502,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_machine(args.name)
     if args.command == "engine":
         return _cmd_engine(args)
+    if args.command == "check":
+        return _cmd_check(args)
     if args.command == "trace":
         return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")

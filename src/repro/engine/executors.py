@@ -133,7 +133,8 @@ class SerialExecutor(Executor):
             try:
                 plan.run_chain(stage, chain, recovered, emit)
             except BaseException as exc:
-                raise annotate_failure(exc, self.name, stage, chain)
+                annotate_failure(exc, self.name, stage, chain)
+                raise
         return results
 
 
@@ -165,7 +166,8 @@ def _mp_run_chain(
     try:
         plan.run_chain(stage, chain, recovered, emit)
     except BaseException as exc:
-        raise annotate_failure(exc, MultiprocessExecutor.name, stage, chain)
+        annotate_failure(exc, MultiprocessExecutor.name, stage, chain)
+        raise
     return out
 
 
@@ -334,7 +336,8 @@ class SimMpiExecutor(Executor):
             try:
                 plan.run_chain(stage, owned, recovered, emit)
             except BaseException as exc:
-                raise annotate_failure(exc, self.name, stage, owned)
+                annotate_failure(exc, self.name, stage, owned)
+                raise
         return results
 
     def _run_standalone(self, plan, stage, chains, hooks):
@@ -368,7 +371,8 @@ class SimMpiExecutor(Executor):
                             stage, chain, recovered_by_chain[ci], emit
                         )
                     except BaseException as exc:
-                        raise annotate_failure(exc, backend, stage, chain)
+                        annotate_failure(exc, backend, stage, chain)
+                        raise
                 gathered = comm.gather(out, root=0)
                 if comm.rank != 0:
                     return None
@@ -424,6 +428,7 @@ def run_plan(plan: UoIPlan, executor: Executor, hooks=()):
         try:
             plan.reduce(stage, results)
         except BaseException as exc:
-            raise annotate_failure(exc, executor.name, f"{stage}/reduce")
+            annotate_failure(exc, executor.name, f"{stage}/reduce")
+            raise
     hook_list.on_run_end(plan)
     return plan.finalize()

@@ -28,11 +28,14 @@ def mini_uoi_lasso_run(
     plam: int = 1,
     config: UoILassoConfig | None = None,
     seed: int = 0,
+    checker=None,
 ) -> dict:
     """Execute distributed UoI_LASSO functionally; return breakdown + result.
 
     The returned dict has ``breakdown`` (category -> modeled seconds,
     max over ranks), ``elapsed``, ``coef`` and ``supports``.
+    ``checker`` optionally attaches a
+    :class:`repro.analysis.dynamic.DynamicChecker` to the run.
     """
     cfg = config or UoILassoConfig(
         n_lambdas=6,
@@ -48,6 +51,7 @@ def mini_uoi_lasso_run(
         nranks,
         lambda comm: distributed_uoi_lasso(comm, file, "data", cfg, pb=pb, plam=plam),
         machine=CORI_KNL,
+        checker=checker,
     )
     out = res.values[0]
     return {
@@ -69,6 +73,7 @@ def mini_uoi_var_run(
     plam: int = 1,
     config: UoIVarConfig | None = None,
     seed: int = 0,
+    checker=None,
 ) -> dict:
     """Execute distributed UoI_VAR functionally; return breakdown + result."""
     cfg = config or UoIVarConfig(
@@ -93,6 +98,7 @@ def mini_uoi_var_run(
             plam=plam,
         ),
         machine=CORI_KNL,
+        checker=checker,
     )
     out = res.values[0]
     return {

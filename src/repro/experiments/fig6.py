@@ -36,7 +36,7 @@ def run(fast: bool = True) -> ExperimentResult:
         speedup = series[base]["computation"] / series[cores]["computation"]
         superlinear[cores] = speedup > ideal
         lines.append(
-            f"{cores:>9}{speedup:>15.2f}{ideal:>8.0f}{str(speedup > ideal):>14}"
+            f"{cores:>9}{speedup:>15.2f}{ideal:>8.0f}{speedup > ideal!s:>14}"
         )
 
     return ExperimentResult(

@@ -31,6 +31,7 @@ from-scratch substitute with two coupled halves:
 from repro.simmpi.machine import MachineModel, CORI_KNL, LAPTOP
 from repro.simmpi.clock import RankClock, TimeCategory
 from repro.simmpi.comm import (
+    DeadlockError,
     SimComm,
     SimulatedRankFailure,
     CollectiveRequest,
@@ -48,6 +49,7 @@ __all__ = [
     "LAPTOP",
     "RankClock",
     "TimeCategory",
+    "DeadlockError",
     "SimComm",
     "SimulatedRankFailure",
     "CollectiveRequest",

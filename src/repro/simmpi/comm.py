@@ -38,6 +38,7 @@ __all__ = [
     "SimulatedRankFailure",
     "payload_nbytes",
     "CollectiveRequest",
+    "DeadlockError",
     "RecvRequest",
 ]
 
@@ -49,6 +50,17 @@ DEADLOCK_TIMEOUT_S = 120.0
 
 class SimAborted(RuntimeError):
     """Raised in every blocked rank when the SPMD run is aborted."""
+
+
+class DeadlockError(RuntimeError):
+    """A rank waited longer than the deadlock timeout in a collective
+    or ``recv``.
+
+    Raised in the *timing-out* rank (the other blocked ranks unwind
+    with secondary :class:`SimAborted`), so the launcher reports the
+    deadlock as a real :class:`~repro.simmpi.executor.SpmdError` with
+    the full blocked-rank report instead of returning silently.
+    """
 
 
 class SimulatedRankFailure(RuntimeError):
@@ -107,11 +119,17 @@ class _Slot:
 class _Rendezvous:
     """State shared by all ranks of one communicator."""
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, timeout_s: float = DEADLOCK_TIMEOUT_S) -> None:
         self.size = size
+        self.timeout_s = timeout_s
         self.cond = threading.Condition()
         self.slots: dict[int, _Slot] = {}
         self.mailboxes: dict[tuple[int, int, int], deque] = {}
+        #: rank -> description of the blocking call the rank is waiting
+        #: in right now (collective wait / recv).  Mutated under
+        #: ``cond``; read by the deadlock reporter to name every
+        #: blocked rank when a timeout abort fires.
+        self.blocked: dict[int, str] = {}
         self.aborted = False
         self.abort_reason = ""
         #: Rendezvous of sub-communicators split off this one.  Aborts
@@ -144,6 +162,20 @@ class _Rendezvous:
         if self.aborted:
             raise SimAborted(self.abort_reason or "SPMD run aborted")
 
+    def deadlock_report(self) -> str:
+        """Name every blocked rank and the call each is waiting in.
+
+        Called under ``cond`` when a timeout abort fires; this is the
+        text the executor's :class:`~repro.simmpi.executor.SpmdError`
+        surfaces so a hang is diagnosable from one message.
+        """
+        if not self.blocked:
+            return "no ranks registered as blocked"
+        return "; ".join(
+            f"rank {r} waiting in {call}"
+            for r, call in sorted(self.blocked.items())
+        )
+
 
 class CollectiveRequest:
     """Handle on a posted (nonblocking) collective.
@@ -156,14 +188,17 @@ class CollectiveRequest:
     asynchronous execution models", the paper's future work).
     """
 
-    __slots__ = ("comm", "seq", "cost", "category", "pick", "_done", "_value")
+    __slots__ = (
+        "comm", "seq", "cost", "category", "pick", "kind", "_done", "_value"
+    )
 
-    def __init__(self, comm, seq, cost, category, pick) -> None:
+    def __init__(self, comm, seq, cost, category, pick, kind="collective") -> None:
         self.comm = comm
         self.seq = seq
         self.cost = cost
         self.category = category
         self.pick = pick
+        self.kind = kind
         self._done = False
         self._value = None
 
@@ -251,6 +286,12 @@ class SimComm:
         (:meth:`repro.resilience.faults.FaultPlan.injector`).  Every
         communication entry point consults it, so crash / delay faults
         fire at realistic points; ``None`` (default) injects nothing.
+    checker:
+        Optional :class:`repro.analysis.dynamic.DynamicChecker`.  When
+        attached, every collective contribution is validated for
+        cross-rank sequence/op/dtype/shape agreement and RMA windows
+        report their epoch accesses; ``None`` (default) checks nothing
+        and costs one ``is None`` test per call.
     """
 
     def __init__(
@@ -262,6 +303,7 @@ class SimComm:
         machine: MachineModel,
         noise_rng: np.random.Generator | None = None,
         injector=None,
+        checker=None,
     ) -> None:
         if not (0 <= rank < size):
             raise ValueError(f"rank {rank} out of range for size {size}")
@@ -272,6 +314,7 @@ class SimComm:
         self.machine = machine
         self.noise_rng = noise_rng
         self.injector = injector
+        self.checker = checker
         self._seq = 0
 
     # ------------------------------------------------------------------
@@ -289,6 +332,11 @@ class SimComm:
         cost: float,
         category: TimeCategory,
         pick: Callable[[Any, int], Any] | None = None,
+        *,
+        kind: str = "collective",
+        op: ReduceOp | None = None,
+        root: int | None = None,
+        check_value: Any = None,
     ) -> "CollectiveRequest":
         """Deposit this rank's contribution and return a request handle.
 
@@ -299,12 +347,31 @@ class SimComm:
         between genuinely overlaps the modeled communication, which is
         exactly the benefit of the non-blocking MPI the paper's future
         work proposes.
+
+        When a dynamic checker is attached, this rank's ``(kind, op,
+        root, dtype/shape)`` record is validated against its peers the
+        moment the last contribution lands — *before* ``combine`` can
+        mix mismatched payloads.  ``check_value`` is the user-level
+        contribution for reduction-type collectives (whose dtype/shape
+        must agree rank-to-rank); pass ``None`` for collectives where
+        per-rank payloads legitimately differ (gather, alltoall, ...).
         """
         if self.injector is not None:
             self.injector.on_collective(self.clock)
         rdv = self._rdv
         seq = self._seq
         self._seq += 1
+        if self.checker is not None:
+            meta = self.checker.collective_meta(
+                kind,
+                check_value,
+                op=op.name if op is not None else None,
+                root=root,
+                checked_value=check_value is not None,
+            )
+            self.checker.on_collective_contribution(
+                id(rdv), rdv.size, seq, self.rank, meta
+            )
         with rdv.cond:
             rdv.check_abort()
             slot = rdv.slots.setdefault(seq, _Slot())
@@ -319,7 +386,7 @@ class SimComm:
                 slot.result = combine(slot.contributions)
                 slot.done = True
                 rdv.cond.notify_all()
-        return CollectiveRequest(self, seq, cost, category, pick)
+        return CollectiveRequest(self, seq, cost, category, pick, kind)
 
     def _complete_collective(self, request: "CollectiveRequest") -> Any:
         """Blocking half: wait for the slot, advance the clock, return."""
@@ -329,15 +396,27 @@ class SimComm:
             slot = rdv.slots.get(seq)
             if slot is None:
                 raise RuntimeError(f"collective seq {seq} already completed")
-            while not slot.done:
-                rdv.check_abort()
-                if not rdv.cond.wait(timeout=DEADLOCK_TIMEOUT_S):
-                    rdv.abort(
-                        f"deadlock: rank {self.rank} timed out in "
-                        f"collective seq {seq}"
-                    )
+            rdv.blocked[self.rank] = f"{request.kind}(seq={seq})"
+            try:
+                while not slot.done:
                     rdv.check_abort()
-            rdv.check_abort()
+                    if not rdv.cond.wait(timeout=rdv.timeout_s):
+                        report = rdv.deadlock_report()
+                        if self.checker is not None:
+                            self.checker.on_deadlock(
+                                dict(rdv.blocked),
+                                f"rank {self.rank} timed out in "
+                                f"{request.kind}(seq={seq})",
+                            )
+                        message = (
+                            f"deadlock: rank {self.rank} timed out in "
+                            f"{request.kind}(seq={seq}); {report}"
+                        )
+                        rdv.abort(message)
+                        raise DeadlockError(message)
+                rdv.check_abort()
+            finally:
+                rdv.blocked.pop(self.rank, None)
             t_start = max(slot.arrival_times.values())
             result = slot.result
             slot.retrieved.add(self.rank)
@@ -359,10 +438,25 @@ class SimComm:
         cost: float,
         category: TimeCategory,
         pick: Callable[[Any, int], Any] | None = None,
+        *,
+        kind: str = "collective",
+        op: ReduceOp | None = None,
+        root: int | None = None,
+        check_value: Any = None,
     ) -> Any:
         """Run one blocking collective: post + immediately complete."""
         return self._complete_collective(
-            self._post_collective(payload, combine, cost, category, pick)
+            self._post_collective(
+                payload,
+                combine,
+                cost,
+                category,
+                pick,
+                kind=kind,
+                op=op,
+                root=root,
+                check_value=check_value,
+            )
         )
 
     # ------------------------------------------------------------------
@@ -407,18 +501,30 @@ class SimComm:
         rdv = self._rdv
         key = (source, self.rank, tag)
         with rdv.cond:
-            while True:
-                rdv.check_abort()
-                box = rdv.mailboxes.get(key)
-                if box:
-                    obj, arrival = box.popleft()
-                    break
-                if not rdv.cond.wait(timeout=DEADLOCK_TIMEOUT_S):
-                    rdv.abort(
-                        f"deadlock: rank {self.rank} timed out in recv from "
-                        f"{source} (tag {tag})"
-                    )
+            rdv.blocked[self.rank] = f"recv(source={source}, tag={tag})"
+            try:
+                while True:
                     rdv.check_abort()
+                    box = rdv.mailboxes.get(key)
+                    if box:
+                        obj, arrival = box.popleft()
+                        break
+                    if not rdv.cond.wait(timeout=rdv.timeout_s):
+                        report = rdv.deadlock_report()
+                        if self.checker is not None:
+                            self.checker.on_deadlock(
+                                dict(rdv.blocked),
+                                f"rank {self.rank} timed out in recv from "
+                                f"{source} (tag {tag})",
+                            )
+                        message = (
+                            f"deadlock: rank {self.rank} timed out in recv "
+                            f"from {source} (tag {tag}); {report}"
+                        )
+                        rdv.abort(message)
+                        raise DeadlockError(message)
+            finally:
+                rdv.blocked.pop(self.rank, None)
         self.clock.advance_to(arrival, category)
         return obj
 
@@ -428,7 +534,7 @@ class SimComm:
     def barrier(self, *, category: TimeCategory = TimeCategory.COMMUNICATION) -> None:
         """Synchronize all ranks of the communicator."""
         cost = timing.barrier_time(self.machine, self.size)
-        self._collective(None, lambda c: None, cost, category)
+        self._collective(None, lambda c: None, cost, category, kind="barrier")
 
     def bcast(
         self,
@@ -455,6 +561,8 @@ class SimComm:
             lambda c: c[root],
             0.0,
             category,
+            kind="bcast",
+            root=root,
         )
         root_nbytes, value = result
         self.clock.charge(category, timing.bcast_time(self.machine, root_nbytes, self.size))
@@ -479,7 +587,10 @@ class SimComm:
             ordered = [contrib[r] for r in range(self.size)]
             return op.reduce_all(ordered)
 
-        result = self._collective(value, combine, cost, category)
+        result = self._collective(
+            value, combine, cost, category,
+            kind="allreduce", op=op, check_value=value,
+        )
         if isinstance(result, np.ndarray):
             return result.copy()
         return result
@@ -502,7 +613,10 @@ class SimComm:
             ordered = [contrib[r] for r in range(self.size)]
             return op.reduce_all(ordered)
 
-        result = self._collective(value, combine, cost, category)
+        result = self._collective(
+            value, combine, cost, category,
+            kind="reduce", op=op, root=root, check_value=value,
+        )
         if self.rank != root:
             return None
         return result.copy() if isinstance(result, np.ndarray) else result
@@ -523,7 +637,9 @@ class SimComm:
         def combine(contrib: dict[int, Any]) -> list:
             return [contrib[r] for r in range(self.size)]
 
-        result = self._collective(value, combine, cost, category)
+        result = self._collective(
+            value, combine, cost, category, kind="gather", root=root
+        )
         return result if self.rank == root else None
 
     def allgather(
@@ -539,7 +655,7 @@ class SimComm:
         def combine(contrib: dict[int, Any]) -> list:
             return [contrib[r] for r in range(self.size)]
 
-        return self._collective(value, combine, cost, category)
+        return self._collective(value, combine, cost, category, kind="allgather")
 
     def scatter(
         self,
@@ -567,6 +683,8 @@ class SimComm:
             0.0,
             category,
             pick=None,
+            kind="scatter",
+            root=root,
         )
         total_nbytes, all_values = result
         self.clock.charge(
@@ -593,7 +711,12 @@ class SimComm:
             }
 
         return self._collective(
-            list(values), combine, cost, category, pick=lambda res, rank: res[rank]
+            list(values),
+            combine,
+            cost,
+            category,
+            pick=lambda res, rank: res[rank],
+            kind="alltoall",
         )
 
     def reduce_scatter(
@@ -624,7 +747,10 @@ class SimComm:
         def pick(result: Any, rank: int) -> np.ndarray:
             return np.array_split(np.asarray(result), self.size)[rank].copy()
 
-        return self._collective(value, combine, cost, category, pick=pick)
+        return self._collective(
+            value, combine, cost, category, pick=pick,
+            kind="reduce_scatter", op=op, check_value=value,
+        )
 
     def scan(
         self,
@@ -649,7 +775,10 @@ class SimComm:
             out = result[rank]
             return out.copy() if isinstance(out, np.ndarray) else out
 
-        return self._collective(value, combine, cost, category, pick=pick)
+        return self._collective(
+            value, combine, cost, category, pick=pick,
+            kind="scan", op=op, check_value=value,
+        )
 
     # ------------------------------------------------------------------
     # nonblocking operations (the paper's future-work direction)
@@ -675,7 +804,10 @@ class SimComm:
             out = op.reduce_all(ordered)
             return out.copy() if isinstance(out, np.ndarray) else out
 
-        return self._post_collective(value, combine, cost, category)
+        return self._post_collective(
+            value, combine, cost, category,
+            kind="iallreduce", op=op, check_value=value,
+        )
 
     def iallgather(
         self,
@@ -690,14 +822,18 @@ class SimComm:
         def combine(contrib: dict[int, Any]) -> list:
             return [contrib[r] for r in range(self.size)]
 
-        return self._post_collective(value, combine, cost, category)
+        return self._post_collective(
+            value, combine, cost, category, kind="iallgather"
+        )
 
     def ibarrier(
         self, *, category: TimeCategory = TimeCategory.COMMUNICATION
     ) -> CollectiveRequest:
         """Nonblocking barrier; ``wait()`` completes the synchronization."""
         cost = timing.barrier_time(self.machine, self.size)
-        return self._post_collective(None, lambda c: None, cost, category)
+        return self._post_collective(
+            None, lambda c: None, cost, category, kind="ibarrier"
+        )
 
     def isend(
         self,
@@ -752,7 +888,7 @@ class SimComm:
             layout: dict[int, tuple[int, int, "_Rendezvous"]] = {}
             for c, members in groups.items():
                 members.sort()
-                rdv = _Rendezvous(len(members))
+                rdv = _Rendezvous(len(members), timeout_s=self._rdv.timeout_s)
                 for new_rank, (_, old_rank) in enumerate(members):
                     layout[old_rank] = (new_rank, len(members), rdv)
             return layout
@@ -764,6 +900,7 @@ class SimComm:
             cost,
             TimeCategory.COMMUNICATION,
             pick=lambda layout, rank: layout[rank],
+            kind="split",
         )
         self._rdv.adopt(new_rdv)
         return SimComm(
@@ -774,6 +911,7 @@ class SimComm:
             self.machine,
             self.noise_rng,
             injector=self.injector,
+            checker=self.checker,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -147,6 +147,8 @@ def run_spmd(
     timing_noise: bool = False,
     trace: bool = False,
     fault_plan=None,
+    checker=None,
+    deadlock_timeout_s: float | None = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
@@ -179,6 +181,18 @@ def run_spmd(
         gets a fresh injector from :meth:`FaultPlan.injector`; injected
         rank crashes terminate only that rank (reported on
         :attr:`SpmdResult.failed_ranks`) instead of raising.
+    checker:
+        Optional :class:`repro.analysis.dynamic.DynamicChecker`.  Every
+        rank's communicator (and any window/sub-communicator built on
+        it) reports collective contributions, RMA epoch accesses and
+        deadlock aborts to it; findings accumulate on
+        ``checker.findings``.  Pure observation — results are bitwise
+        identical with and without a checker attached.
+    deadlock_timeout_s:
+        Seconds a rank may block in a collective or ``recv`` before
+        the run is declared deadlocked (default
+        :data:`repro.simmpi.comm.DEADLOCK_TIMEOUT_S`).  Tests that
+        deliberately deadlock pass a sub-second value.
 
     Returns
     -------
@@ -199,7 +213,14 @@ def run_spmd(
             f"nranks={nranks} is unreasonable for the thread-based functional "
             "simulator; use repro.perf.scaling for large-scale modeling"
         )
-    rendezvous = _Rendezvous(nranks)
+    from repro.simmpi.comm import DEADLOCK_TIMEOUT_S
+
+    rendezvous = _Rendezvous(
+        nranks,
+        timeout_s=(
+            DEADLOCK_TIMEOUT_S if deadlock_timeout_s is None else deadlock_timeout_s
+        ),
+    )
     tracer = Tracer() if trace else None
     clocks = [RankClock(rank=r, tracer=tracer) for r in range(nranks)]
     values: list[Any] = [None] * nranks
@@ -216,7 +237,7 @@ def run_spmd(
         injector = fault_plan.injector(rank) if fault_plan is not None else None
         comm = SimComm(
             rendezvous, rank, nranks, clocks[rank], machine, rng,
-            injector=injector,
+            injector=injector, checker=checker,
         )
         try:
             values[rank] = fn(comm, *args, **kwargs)
@@ -231,7 +252,7 @@ def run_spmd(
             with errors_lock:
                 injected.append((rank, exc))
             rendezvous.abort(str(exc))
-        except BaseException as exc:  # noqa: BLE001 - must propagate anything
+        except BaseException as exc:  # must propagate anything, incl. SystemExit
             with errors_lock:
                 errors.append((rank, exc))
             rendezvous.abort(f"rank {rank} raised {exc!r}")
@@ -244,6 +265,11 @@ def run_spmd(
         t.start()
     for t in threads:
         t.join()
+
+    if checker is not None:
+        # Analyze RMA epochs that were never closed by a fence — an
+        # un-fenced put/get conflict is still a race at job end.
+        checker.finalize()
 
     if errors:
         errors.sort(key=lambda e: e[0])

@@ -82,6 +82,11 @@ class Window:
         self.max_get_retries = max_get_retries
         #: Transient Get failures survived by this rank (diagnostics).
         self.retries = 0
+        #: Fence-epoch counter: all participants fence collectively, so
+        #: every rank agrees on the current epoch number.  The dynamic
+        #: race checker groups one-sided accesses by ``(window, epoch)``.
+        self._epoch = 0
+        self._freed = False
         if local is not None:
             local = np.ascontiguousarray(local)
         # Collective creation: rank 0 allocates the shared state and
@@ -96,7 +101,19 @@ class Window:
             state.buffers[comm.rank] = local
         comm.barrier(category=category)
 
+    @property
+    def _checker(self):
+        """The run's dynamic checker, or ``None`` (no checking)."""
+        return self.comm.checker
+
+    @property
+    def _win_id(self) -> int:
+        """Identity shared by every rank's handle on this window."""
+        return id(self._state)
+
     def _check_target(self, target_rank: int) -> np.ndarray:
+        if self._freed:
+            raise RmaError("window already freed: one-sided access after free()")
         if not (0 <= target_rank < self.comm.size):
             raise ValueError(
                 f"target_rank {target_rank} out of range for size {self.comm.size}"
@@ -143,6 +160,11 @@ class Window:
                         f"{attempts} consecutive times"
                     )
         buf = self._check_target(target_rank)
+        if self._checker is not None:
+            self._checker.on_rma(
+                self._win_id, self._epoch, self.comm.rank, target_rank,
+                "get", key, len(buf),
+            )
         state = self._state
         with state.active_lock:
             state.active[target_rank] += 1
@@ -159,6 +181,11 @@ class Window:
         """One-sided write of ``value`` into ``exposed[key]`` at ``target_rank``."""
         buf = self._check_target(target_rank)
         value = np.asarray(value)
+        if self._checker is not None:
+            self._checker.on_rma(
+                self._win_id, self._epoch, self.comm.rank, target_rank,
+                "put", key, len(buf),
+            )
         state = self._state
         with state.active_lock:
             state.active[target_rank] += 1
@@ -171,25 +198,70 @@ class Window:
         self._charge(value.nbytes, target_rank)
 
     def accumulate(self, target_rank: int, key, value: np.ndarray) -> None:
-        """One-sided ``+=`` (MPI_Accumulate with MPI_SUM)."""
+        """One-sided ``+=`` (MPI_Accumulate with MPI_SUM).
+
+        Like ``MPI_Accumulate``, the contributed datatype must be
+        compatible with the target's: a value that cannot be cast to
+        the exposed buffer's dtype under numpy ``same_kind`` rules
+        (e.g. float into an integer buffer) raises ``ValueError``, as
+        does a value whose shape does not broadcast over the selected
+        target region.
+        """
         buf = self._check_target(target_rank)
         value = np.asarray(value)
+        if not np.can_cast(value.dtype, buf.dtype, casting="same_kind"):
+            raise ValueError(
+                f"accumulate dtype mismatch: cannot accumulate {value.dtype} "
+                f"into a {buf.dtype} buffer on rank {target_rank}"
+            )
+        if self._checker is not None:
+            self._checker.on_rma(
+                self._win_id, self._epoch, self.comm.rank, target_rank,
+                "accumulate", key, len(buf),
+            )
         state = self._state
         with state.active_lock:
             state.active[target_rank] += 1
         try:
             with state.locks[target_rank]:
-                buf[key] += value
+                try:
+                    buf[key] += value
+                except ValueError as exc:
+                    raise ValueError(
+                        f"accumulate shape mismatch: value of shape "
+                        f"{value.shape} does not broadcast over target key "
+                        f"{key!r} on rank {target_rank}: {exc}"
+                    ) from exc
         finally:
             with state.active_lock:
                 state.active[target_rank] -= 1
         self._charge(value.nbytes, target_rank)
 
     def fence(self) -> None:
-        """Synchronize all window participants (MPI_Win_fence)."""
+        """Synchronize all window participants (MPI_Win_fence).
+
+        Closes the current access epoch: when a dynamic checker is
+        attached, the epoch's recorded one-sided operations are
+        analyzed for conflicting access (after the barrier, so every
+        participant's accesses are in).
+        """
+        if self._freed:
+            raise RmaError("window already freed: fence() after free()")
         self.comm.barrier(category=self.category)
+        closed, self._epoch = self._epoch, self._epoch + 1
+        if self._checker is not None:
+            self._checker.end_epoch(self._win_id, closed)
 
     def free(self) -> None:
-        """Collective teardown (drops exposed-buffer references)."""
+        """Collective teardown (drops exposed-buffer references).
+
+        Subsequent one-sided operations on this handle raise
+        :class:`RmaError`; a second ``free`` is a local no-op.
+        """
+        if self._freed:
+            return
         self.comm.barrier(category=self.category)
+        if self._checker is not None:
+            self._checker.end_epoch(self._win_id, self._epoch)
         self._state.buffers.pop(self.comm.rank, None)
+        self._freed = True

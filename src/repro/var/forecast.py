@@ -72,7 +72,7 @@ def forecast(
         for j, A in enumerate(coefs):
             x += A @ window[j]
         out[h] = x
-        window = [x] + window[:-1]
+        window = [x, *window[:-1]]
     return out
 
 
@@ -135,7 +135,7 @@ def forecast_intervals(
             for j, A in enumerate(coefs):
                 x += A @ window[j]
             paths[s, h] = x
-            window = [x] + window[:-1]
+            window = [x, *window[:-1]]
     alpha = (1.0 - level) / 2.0
     lower = np.quantile(paths, alpha, axis=0)
     upper = np.quantile(paths, 1.0 - alpha, axis=0)

@@ -82,7 +82,7 @@ def stack_coefficients(
     rows = [A.T for A in coefs]
     if intercept is not None:
         intercept = np.asarray(intercept, dtype=float).reshape(1, p)
-        rows = [intercept] + rows
+        rows = [intercept, *rows]
     return np.vstack(rows)
 
 

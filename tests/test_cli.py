@@ -141,6 +141,58 @@ class TestTrace:
         assert "breakdown (s)" in out
 
 
+class TestCheck:
+    DIRTY = (
+        "def prog(comm):\n"
+        "    if comm.rank == 0:\n"
+        "        comm.allreduce(1.0)\n"
+    )
+
+    def test_lint_clean_file_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def prog(comm):\n    comm.barrier()\n")
+        assert main(["check", "lint", "--path", str(clean)]) == 0
+        assert "none" in capsys.readouterr().out
+
+    def test_lint_dirty_file_exits_nonzero(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(self.DIRTY)
+        assert main(["check", "lint", "--path", str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "SPMD001" in out
+        assert "dirty.py:3" in out
+
+    def test_json_format_and_artifact(self, tmp_path, capsys):
+        import json
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(self.DIRTY)
+        artifact = tmp_path / "findings.json"
+        assert main(
+            ["check", "lint", "--path", str(dirty),
+             "--format", "json", "-o", str(artifact)]
+        ) == 1
+        doc = json.loads(artifact.read_text())
+        assert doc["schema"] == 1
+        assert doc["count"] == 1
+        assert doc["findings"][0]["rule"] == "SPMD001"
+        # stdout carries the same JSON document before the artifact note
+        out = capsys.readouterr().out
+        assert '"SPMD001"' in out
+
+    def test_installed_package_gate_passes(self, capsys):
+        # `repro check lint` with no --path lints the shipped library.
+        assert main(["check", "lint"]) == 0
+
+    def test_dynamic_battery_passes(self, capsys):
+        assert main(["check", "dynamic", "--nranks", "3"]) == 0
+        assert "none" in capsys.readouterr().out
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check", "everything"])
+
+
 class TestExperimentRegistry:
     def test_registry_matches_modules(self):
         import importlib

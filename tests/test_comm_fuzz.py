@@ -7,12 +7,19 @@ checked for basic sanity (monotone, identical category sets).  This is
 the substrate's broadest correctness net: if any collective's ordering,
 reduction order, or copy semantics regresses, some random program will
 catch it.
+
+Every fuzzed schedule additionally runs under the dynamic SPMD
+checker (:class:`repro.analysis.DynamicChecker`): since all ranks
+execute the same program, any collective-matching, RMA-race, or
+deadlock finding would be a checker false positive (or a substrate
+regression), so the test asserts zero findings.
 """
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.analysis import DynamicChecker
 from repro.simmpi import LAPTOP, MAX, MIN, SUM, run_spmd
 
 OPS = ["allreduce_sum", "allreduce_max", "allreduce_min", "allgather",
@@ -83,7 +90,12 @@ def test_random_collective_programs(program, size):
                 outs.append(comm.alltoall([v + j for j in range(comm.size)]))
         return outs
 
-    res = run_spmd(size, prog, machine=LAPTOP)
+    checker = DynamicChecker()
+    res = run_spmd(size, prog, machine=LAPTOP, checker=checker)
+
+    # SPMD programs where every rank runs the same schedule must be
+    # free of collective mismatches, RMA races, and deadlocks.
+    assert len(checker) == 0, [f.to_dict() for f in checker.findings]
 
     for step, (op, vec_len) in enumerate(program):
         expected = _expected(op, vec_len, size, step)

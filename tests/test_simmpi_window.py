@@ -4,6 +4,9 @@ import numpy as np
 import pytest
 
 from repro.simmpi import TimeCategory, Window, run_spmd, SpmdError
+from repro.simmpi import timing
+from repro.simmpi.machine import LAPTOP
+from repro.simmpi.window import RmaError
 
 
 class TestWindowGetPut:
@@ -108,7 +111,124 @@ class TestWindowGetPut:
             win = Window(comm, np.ones(2))
             win.fence()
             win.free()
+            win.free()  # second free is a local no-op
             return True
 
         res = run_spmd(3, prog)
         assert all(res.values)
+
+
+class TestWindowEdgeCases:
+    def test_accumulate_dtype_mismatch_raises(self):
+        def prog(comm):
+            local = np.zeros(4, dtype=np.int64)
+            win = Window(comm, local)
+            win.fence()
+            win.accumulate(0, slice(None), np.ones(4, dtype=float))
+            win.fence()
+
+        with pytest.raises(SpmdError, match="accumulate dtype mismatch"):
+            run_spmd(2, prog)
+
+    def test_accumulate_compatible_dtype_ok(self):
+        def prog(comm):
+            local = np.zeros(3, dtype=np.float64)
+            win = Window(comm, local)
+            win.fence()
+            win.accumulate(0, slice(None), np.ones(3, dtype=np.float32))
+            win.fence()
+            return local.copy()
+
+        res = run_spmd(2, prog)
+        np.testing.assert_array_equal(res.values[0], [2.0, 2.0, 2.0])
+
+    def test_accumulate_shape_mismatch_raises(self):
+        def prog(comm):
+            local = np.zeros(4)
+            win = Window(comm, local)
+            win.fence()
+            win.accumulate(0, slice(0, 2), np.ones(3))
+            win.fence()
+
+        with pytest.raises(SpmdError, match="accumulate shape mismatch"):
+            run_spmd(2, prog)
+
+    def test_get_after_free_raises(self):
+        def prog(comm):
+            win = Window(comm, np.ones(2))
+            win.fence()
+            win.free()
+            win.get(0, slice(None))
+
+        with pytest.raises(SpmdError, match="after free"):
+            run_spmd(2, prog)
+
+    def test_put_after_free_raises(self):
+        def prog(comm):
+            win = Window(comm, np.ones(2))
+            win.fence()
+            win.free()
+            win.put(0, slice(None), np.zeros(2))
+
+        with pytest.raises(SpmdError, match="after free"):
+            run_spmd(2, prog)
+
+    def test_fence_after_free_raises(self):
+        def prog(comm):
+            win = Window(comm, np.ones(2))
+            win.fence()
+            win.free()
+            win.fence()
+
+        with pytest.raises(SpmdError, match="after free"):
+            run_spmd(2, prog)
+
+    def test_rma_error_is_runtime_error(self):
+        assert issubclass(RmaError, RuntimeError)
+
+    def test_charge_byte_accounting_uncontended(self):
+        """An uncontended Get charges exactly rma_time(nbytes)."""
+        nrows = 125
+
+        def prog(comm):
+            local = np.ones(nrows) if comm.rank == 0 else None
+            win = Window(comm, local)
+            win.fence()
+            if comm.rank == 1:
+                before = comm.clock.breakdown[TimeCategory.DISTRIBUTION]
+                got = win.get(0, slice(None))
+                charged = comm.clock.breakdown[TimeCategory.DISTRIBUTION] - before
+                win.fence()
+                return charged, got.nbytes
+            win.fence()
+            return None
+
+        res = run_spmd(2, prog, machine=LAPTOP)
+        charged, nbytes = res.values[1]
+        assert nbytes == nrows * 8
+        assert charged == pytest.approx(timing.rma_time(LAPTOP, nbytes))
+
+    def test_charge_scales_with_payload_bytes(self):
+        """Doubling the Get payload charges the extra per-byte cost."""
+
+        def prog(comm):
+            local = np.ones(1000) if comm.rank == 0 else None
+            win = Window(comm, local)
+            win.fence()
+            if comm.rank != 1:
+                win.fence()
+                return None
+            before = comm.clock.breakdown[TimeCategory.DISTRIBUTION]
+            win.get(0, slice(0, 250))
+            mid = comm.clock.breakdown[TimeCategory.DISTRIBUTION]
+            win.get(0, slice(0, 500))
+            after = comm.clock.breakdown[TimeCategory.DISTRIBUTION]
+            win.fence()
+            return mid - before, after - mid
+
+        res = run_spmd(2, prog, machine=LAPTOP)
+        small, large = res.values[1]
+        latency = timing.rma_time(LAPTOP, 0)
+        # Subtracting the fixed wire latency leaves the pure per-byte
+        # term, which must double with the payload.
+        assert large - latency == pytest.approx(2 * (small - latency))
