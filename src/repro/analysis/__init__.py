@@ -1,18 +1,30 @@
 """Correctness tooling for the SPMD substrate (``repro.analysis``).
 
-Two complementary halves, one findings currency:
+Five checkers, one findings currency:
 
 * :mod:`repro.analysis.linter` — an AST-based **static SPMD linter**
   enforcing the communication discipline the paper's implementation
   depends on (rules ``SPMD001``-``SPMD004``), with per-line
   ``# repro: ignore[RULE]`` suppressions;
+* :mod:`repro.analysis.shapes` — a **symbolic shape/dtype/memory
+  abstract interpreter** (rules ``SHAPE101``-``SHAPE103``) proving
+  the Kronecker lifting is never densely materialized and no
+  allocation exceeds the per-rank budget at paper scale;
+* :mod:`repro.analysis.determinism` — a **determinism-taint pass**
+  (rules ``DET301``-``DET304``) tracing nondeterminism sources into
+  code reachable from ``UoIPlan.run_chain``/``reduce``;
+* :mod:`repro.analysis.planver` — a **pre-run plan verifier**
+  (rules ``PLAN401``-``PLAN404``): :func:`verify_plan` over
+  constructed plans (opt-in at run time via ``REPRO_PLAN_VERIFY=1``
+  or ``make_executor(..., verify=True)``) plus an AST side;
 * :mod:`repro.analysis.dynamic` — **runtime checkers** wired into
-  :mod:`repro.simmpi` via ``run_spmd(checker=...)``: a per-
-  communicator collective-matching validator, an RMA fence-epoch race
-  detector, and a deadlock reporter (rules ``DYN201``-``DYN204``).
+  :mod:`repro.simmpi` via ``run_spmd(checker=...)`` (rules
+  ``DYN201``-``DYN204``).
 
-``repro check lint|dynamic|all`` (see :mod:`repro.analysis.check`)
-runs both and gates CI on zero findings; every rule is documented in
+``repro check lint|shapes|determinism|plan|static|dynamic|all`` (see
+:mod:`repro.analysis.check`) runs them and gates CI on zero findings;
+``--format sarif`` exports GitHub-annotatable SARIF 2.1.0
+(:mod:`repro.analysis.sarif`).  Every rule is documented in
 ``docs/static-analysis.md``.
 """
 
@@ -26,14 +38,52 @@ from repro.analysis.findings import (
     findings_to_json,
     format_findings,
 )
-from repro.analysis.rules import DYNAMIC_RULES, RULES, STATIC_RULES, Rule, get_rule
+from repro.analysis.rules import (
+    DETERMINISM_RULES,
+    DYNAMIC_RULES,
+    PLAN_RULES,
+    RULES,
+    SHAPE_RULES,
+    STATIC_RULES,
+    SUPPRESSION_RULES,
+    Rule,
+    get_rule,
+)
+from repro.analysis.suppress import Suppressions, filter_findings
 from repro.analysis.linter import (
     lint_file,
     lint_paths,
     lint_source,
 )
+from repro.analysis.shapes import (
+    MemoryBudget,
+    shape_check_file,
+    shape_check_paths,
+    shape_check_source,
+)
+from repro.analysis.determinism import (
+    determinism_check_paths,
+    determinism_check_source,
+)
+from repro.analysis.planver import (
+    PlanVerificationError,
+    assert_valid_plan,
+    plan_lint_file,
+    plan_lint_paths,
+    plan_lint_source,
+    verify_plan,
+)
+from repro.analysis.sarif import findings_to_sarif
 from repro.analysis.dynamic import CollectiveMismatchError, DynamicChecker
-from repro.analysis.check import MODES, run_check, run_dynamic, run_lint
+from repro.analysis.check import (
+    MODES,
+    run_check,
+    run_determinism,
+    run_dynamic,
+    run_lint,
+    run_plan_checks,
+    run_shapes,
+)
 
 __all__ = [
     "ERROR",
@@ -44,18 +94,40 @@ __all__ = [
     "findings_to_json",
     "findings_from_json",
     "format_findings",
+    "findings_to_sarif",
     "Rule",
     "RULES",
     "STATIC_RULES",
+    "SHAPE_RULES",
     "DYNAMIC_RULES",
+    "DETERMINISM_RULES",
+    "PLAN_RULES",
+    "SUPPRESSION_RULES",
     "get_rule",
+    "Suppressions",
+    "filter_findings",
     "lint_source",
     "lint_file",
     "lint_paths",
+    "MemoryBudget",
+    "shape_check_source",
+    "shape_check_file",
+    "shape_check_paths",
+    "determinism_check_source",
+    "determinism_check_paths",
+    "PlanVerificationError",
+    "verify_plan",
+    "assert_valid_plan",
+    "plan_lint_source",
+    "plan_lint_file",
+    "plan_lint_paths",
     "DynamicChecker",
     "CollectiveMismatchError",
     "MODES",
     "run_check",
     "run_lint",
+    "run_shapes",
+    "run_determinism",
+    "run_plan_checks",
     "run_dynamic",
 ]

@@ -1,31 +1,113 @@
 """The ``repro check`` gate: run the static and dynamic checkers.
 
-``repro check lint`` lints ``src/repro``; ``repro check dynamic`` runs
-a battery of real communication workloads — a distributed UoI_LASSO
-fit, an all-collectives exerciser, and the two RMA-heavy distribution
-paths (Tier-2 shuffle, distributed Kronecker build) — under a
-:class:`~repro.analysis.dynamic.DynamicChecker`; ``repro check all``
-does both.  The gate is **zero findings**: CI fails on any.
+Five checkers share one findings currency and one gate (**zero
+findings**: CI fails on any):
+
+* ``repro check lint`` — the SPMD AST linter over ``src/repro``;
+* ``repro check shapes`` — the SHAPE1xx symbolic shape/dtype/memory
+  interpreter over ``repro.linalg`` and ``repro.distribution``;
+* ``repro check determinism`` — the DET3xx taint pass from
+  nondeterminism sources into plan-reachable code;
+* ``repro check plan`` — the PLAN4xx verifier: static AST checks over
+  the engine and distributed core, plus :func:`verify_plan` replayed
+  over reference plans built from each driver family;
+* ``repro check dynamic`` — a battery of real communication
+  workloads (a distributed UoI_LASSO fit, an all-collectives
+  exerciser, the two RMA-heavy distribution paths) under a
+  :class:`~repro.analysis.dynamic.DynamicChecker`.
+
+``repro check static`` runs the four static passes; ``repro check
+all`` runs everything.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.analysis.determinism import determinism_check_paths
 from repro.analysis.dynamic import DynamicChecker
 from repro.analysis.findings import Finding
 from repro.analysis.linter import lint_paths
+from repro.analysis.planver import plan_lint_paths, verify_plan
+from repro.analysis.shapes import MemoryBudget, shape_check_paths
 
-__all__ = ["run_lint", "run_dynamic", "run_check", "MODES"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simmpi.comm import SimComm
 
-MODES = ("lint", "dynamic", "all")
+__all__ = [
+    "run_lint",
+    "run_shapes",
+    "run_determinism",
+    "run_plan_checks",
+    "run_dynamic",
+    "run_check",
+    "MODES",
+]
+
+MODES = ("lint", "shapes", "determinism", "plan", "static", "dynamic", "all")
 
 
 def run_lint(paths: Sequence[str] | None = None) -> list[Finding]:
     """Static SPMD lint over ``paths`` (default: the installed ``repro``)."""
     return lint_paths(paths)
+
+
+def run_shapes(
+    paths: Sequence[str] | None = None,
+    *,
+    budget: MemoryBudget | None = None,
+) -> list[Finding]:
+    """SHAPE pass over ``paths`` (default: ``repro.linalg`` +
+    ``repro.distribution``)."""
+    return shape_check_paths(paths, budget=budget)
+
+
+def run_determinism(paths: Sequence[str] | None = None) -> list[Finding]:
+    """DET taint pass over ``paths`` (default: the whole package)."""
+    return determinism_check_paths(paths)
+
+
+def _reference_plans() -> list[object]:
+    """One constructed plan per serial driver family, paper-shaped small.
+
+    The distributed plans are exercised separately (their constructors
+    need a live simulated communicator); their ownership arithmetic is
+    covered by the AST side plus the engine test suite's
+    ``verify_plan`` unit tests.
+    """
+    from repro.core.config import UoILassoConfig, UoIVarConfig
+    from repro.engine.plans import LassoPlan, VarPlan
+
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((24, 5))
+    y = X @ rng.standard_normal(5) + 0.1 * rng.standard_normal(24)
+    lasso_cfg = UoILassoConfig(
+        n_lambdas=4,
+        n_selection_bootstraps=3,
+        n_estimation_bootstraps=3,
+        random_state=7,
+    )
+    series = rng.standard_normal((30, 3))
+    var_cfg = UoIVarConfig(
+        order=2,
+        lasso=UoILassoConfig(
+            n_lambdas=3,
+            n_selection_bootstraps=2,
+            n_estimation_bootstraps=2,
+            random_state=7,
+        ),
+    )
+    return [LassoPlan(lasso_cfg, X, y), VarPlan(var_cfg, series)]
+
+
+def run_plan_checks(paths: Sequence[str] | None = None) -> list[Finding]:
+    """PLAN pass: AST lint plus ``verify_plan`` over reference plans."""
+    findings = plan_lint_paths(paths)
+    for plan in _reference_plans():
+        findings.extend(verify_plan(plan))
+    return findings
 
 
 def _exercise_collectives(nranks: int) -> DynamicChecker:
@@ -34,7 +116,7 @@ def _exercise_collectives(nranks: int) -> DynamicChecker:
 
     checker = DynamicChecker()
 
-    def program(comm):
+    def program(comm: SimComm) -> None:
         v = np.arange(4.0) + comm.rank
         comm.allreduce(v, SUM)
         comm.allreduce(v, MIN)
@@ -72,7 +154,7 @@ def _exercise_rma(nranks: int) -> DynamicChecker:
     file.create_dataset("data", data)
     series = rng.standard_normal((24, 3))
 
-    def program(comm):
+    def program(comm: SimComm) -> None:
         dist = RandomizedDistributor(comm, file, "data")
         rows = np.random.default_rng(11).integers(0, 32, size=16)
         dist.sample(rows)
@@ -118,13 +200,26 @@ def run_check(
     *,
     paths: Sequence[str] | None = None,
     nranks: int = 4,
+    budget: MemoryBudget | None = None,
 ) -> list[Finding]:
-    """Run the selected checkers; the gate passes iff the list is empty."""
+    """Run the selected checkers; the gate passes iff the list is empty.
+
+    ``paths`` overrides each static pass's default tree (the passes
+    have different defaults — lint covers the whole package, shapes
+    the numeric subsystems, plan the engine+core); ``budget``
+    configures the SHAPE per-rank memory ceiling.
+    """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
     findings: list[Finding] = []
-    if mode in ("lint", "all"):
+    if mode in ("lint", "static", "all"):
         findings.extend(run_lint(paths))
+    if mode in ("shapes", "static", "all"):
+        findings.extend(run_shapes(paths, budget=budget))
+    if mode in ("determinism", "static", "all"):
+        findings.extend(run_determinism(paths))
+    if mode in ("plan", "static", "all"):
+        findings.extend(run_plan_checks(paths))
     if mode in ("dynamic", "all"):
         findings.extend(run_dynamic(nranks=nranks))
     return findings

@@ -143,7 +143,13 @@ class DynamicChecker:
         self._analyzed: set[tuple[int, int]] = set()
 
     # ------------------------------------------------------------- core
-    def _emit(self, rule_id: str, message: str, site: tuple[str, int], **context) -> Finding:
+    def _emit(
+        self,
+        rule_id: str,
+        message: str,
+        site: tuple[str, int],
+        **context: object,
+    ) -> Finding:
         rule = get_rule(rule_id)
         finding = Finding(
             rule=rule.id,

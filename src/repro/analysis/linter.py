@@ -35,11 +35,11 @@ from __future__ import annotations
 
 import ast
 import os
-import re
 from typing import Iterable, Sequence
 
 from repro.analysis.findings import Finding
 from repro.analysis.rules import get_rule
+from repro.analysis.suppress import IGNORE_RE, filter_findings
 
 __all__ = [
     "COLLECTIVE_METHODS",
@@ -93,9 +93,8 @@ _COMM_NAME_HINTS = ("comm", "world", "cell", "bgroup", "lgroup", "stripe")
 #: Receiver names that identify an RMA window handle.
 _WIN_NAME_HINTS = ("win", "window")
 
-_IGNORE_RE = re.compile(
-    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
-)
+#: Suppression syntax (shared; see :mod:`repro.analysis.suppress`).
+_IGNORE_RE = IGNORE_RE
 
 
 def _terminal_name(node: ast.expr) -> str:
@@ -166,30 +165,6 @@ def _is_span_call(call: ast.Call) -> bool:
     return False
 
 
-class _Suppressions:
-    """Per-line ``# repro: ignore[...]`` directives of one file."""
-
-    def __init__(self, source: str) -> None:
-        self.by_line: dict[int, frozenset[str] | None] = {}
-        for lineno, text in enumerate(source.splitlines(), start=1):
-            m = _IGNORE_RE.search(text)
-            if not m:
-                continue
-            rules = m.group("rules")
-            if rules is None:
-                self.by_line[lineno] = None  # suppress everything
-            else:
-                self.by_line[lineno] = frozenset(
-                    r.strip().upper() for r in rules.split(",") if r.strip()
-                )
-
-    def suppressed(self, rule_id: str, lineno: int) -> bool:
-        if lineno not in self.by_line:
-            return False
-        rules = self.by_line[lineno]
-        return rules is None or rule_id in rules
-
-
 class _SpmdVisitor(ast.NodeVisitor):
     """One pass collecting SPMD001/SPMD002/SPMD003 findings."""
 
@@ -198,7 +173,9 @@ class _SpmdVisitor(ast.NodeVisitor):
         self.findings: list[Finding] = []
         self._rank_if_depth = 0
 
-    def _emit(self, rule_id: str, lineno: int, message: str, **context) -> None:
+    def _emit(
+        self, rule_id: str, lineno: int, message: str, **context: object
+    ) -> None:
         rule = get_rule(rule_id)
         self.findings.append(
             Finding(
@@ -380,10 +357,7 @@ def lint_source(source: str, filename: str = "<string>") -> list[Finding]:
     findings = visitor.findings
     for body in _scope_bodies(tree):
         _check_rma_mutations(body, filename, findings)
-    sup = _Suppressions(source)
-    kept = [f for f in findings if not sup.suppressed(f.rule, f.line)]
-    kept.sort(key=lambda f: (f.file, f.line, f.rule))
-    return kept
+    return filter_findings(source, filename, findings, families=("SPMD",))
 
 
 def lint_file(path: str) -> list[Finding]:

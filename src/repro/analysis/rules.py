@@ -1,10 +1,21 @@
-"""Rule registry for the SPMD linter and the simmpi dynamic checkers.
+"""Rule registry for the static passes and the simmpi dynamic checkers.
 
-Static rules (``SPMD0xx``) are produced by
-:mod:`repro.analysis.linter`; dynamic rules (``DYN2xx``) by
-:class:`repro.analysis.dynamic.DynamicChecker`.  Every rule documented
-here also appears, with an example and its suppression syntax, in
-``docs/static-analysis.md`` — keep the two in sync.
+Five rule families, one findings currency:
+
+* ``SPMD0xx`` — the AST SPMD linter (:mod:`repro.analysis.linter`);
+* ``SHAPE1xx`` — the symbolic shape/dtype/memory interpreter
+  (:mod:`repro.analysis.shapes`);
+* ``DYN2xx`` — the runtime checkers
+  (:class:`repro.analysis.dynamic.DynamicChecker`);
+* ``DET3xx`` — the determinism-taint pass
+  (:mod:`repro.analysis.determinism`);
+* ``PLAN4xx`` — the pre-run plan verifier
+  (:mod:`repro.analysis.planver`), plus ``SUP001`` for stale
+  suppressions (:mod:`repro.analysis.suppress`).
+
+Every rule documented here also appears, with an example and its
+suppression syntax, in ``docs/static-analysis.md`` — keep the two in
+sync.
 """
 
 from __future__ import annotations
@@ -13,7 +24,17 @@ from dataclasses import dataclass
 
 from repro.analysis.findings import ERROR, WARNING
 
-__all__ = ["Rule", "RULES", "STATIC_RULES", "DYNAMIC_RULES", "get_rule"]
+__all__ = [
+    "Rule",
+    "RULES",
+    "STATIC_RULES",
+    "SHAPE_RULES",
+    "DYNAMIC_RULES",
+    "DETERMINISM_RULES",
+    "PLAN_RULES",
+    "SUPPRESSION_RULES",
+    "get_rule",
+]
 
 
 @dataclass(frozen=True)
@@ -148,8 +169,191 @@ DYNAMIC_RULES = (
     ),
 )
 
+SHAPE_RULES = (
+    Rule(
+        id="SHAPE101",
+        name="dense-kron-materialization",
+        severity=ERROR,
+        summary="dense materialization of I ⊗ X outside the sanctioned "
+        "identity_kron path",
+        rationale=(
+            "The lifted design I_p ⊗ X of eq. (9) is ≈ p³ the size of the "
+            "data: materializing it densely on one rank (np.kron(np.eye(p), "
+            "X), identity_kron(..., sparse=False), .toarray() on a lifted "
+            "operator) silently exhausts node memory at paper scale. All "
+            "materialization must flow through repro.linalg.kron's "
+            "sanctioned sparse/lazy representations."
+        ),
+    ),
+    Rule(
+        id="SHAPE102",
+        name="per-rank-memory-budget",
+        severity=ERROR,
+        summary="symbolic allocation size exceeds the per-rank memory budget",
+        rationale=(
+            "An allocation whose symbolic size — dims propagated from "
+            "`n, p = X.shape`-style bindings — evaluates above the "
+            "configured per-rank budget at reference scale (N=1e5, p=1e3) "
+            "will OOM a production run 40 minutes in; the interpreter "
+            "proves it before launch."
+        ),
+    ),
+    Rule(
+        id="SHAPE103",
+        name="dtype-drift",
+        severity=WARNING,
+        summary="float32/float64 mixed arithmetic or solver-boundary upcast",
+        rationale=(
+            "Mixing float32 and float64 operands silently upcasts: memory "
+            "doubles, results stop being bitwise-reproducible against the "
+            "float32 pipeline, and scipy.sparse ops materialize float64 "
+            "copies. Normalize the dtype at the subsystem boundary "
+            "instead."
+        ),
+    ),
+)
+
+DETERMINISM_RULES = (
+    Rule(
+        id="DET301",
+        name="wall-clock-in-plan",
+        severity=ERROR,
+        summary="wall-clock read reachable from UoIPlan.run_chain/reduce",
+        rationale=(
+            "The plan module's determinism contract promises that the same "
+            "seed yields bitwise-identical coefficients on every backend; "
+            "a time.time()/perf_counter()/datetime.now() value flowing "
+            "into plan-reachable code makes results depend on when the run "
+            "started."
+        ),
+    ),
+    Rule(
+        id="DET302",
+        name="os-ordering-dependence",
+        severity=ERROR,
+        summary="os-ordered listing (glob/listdir/scandir/iterdir) reachable "
+        "from a plan without sorted()",
+        rationale=(
+            "glob.glob, os.listdir, os.scandir and Path.iterdir return "
+            "entries in filesystem order, which differs across nodes and "
+            "runs; feeding that order into plan-reachable code breaks "
+            "cross-backend bitwise identity. Wrap the listing in "
+            "sorted(...)."
+        ),
+    ),
+    Rule(
+        id="DET303",
+        name="set-iteration-order",
+        severity=ERROR,
+        summary="iteration over a set feeding plan-reachable computation",
+        rationale=(
+            "Set iteration order depends on insertion history and hash "
+            "randomization; iterating a set inside run_chain/reduce (or "
+            "anything they call) reorders float accumulation and breaks "
+            "the fixed reduction order the determinism contract requires. "
+            "Iterate sorted(the_set) instead."
+        ),
+    ),
+    Rule(
+        id="DET304",
+        name="unseeded-rng-in-plan",
+        severity=ERROR,
+        summary="unseeded RNG (default_rng() / random.*) reachable from a plan",
+        rationale=(
+            "All plan randomness must be pre-drawn in __init__ from the "
+            "run's random_state; an unseeded np.random.default_rng() or a "
+            "stdlib random.* call in plan-reachable code draws entropy "
+            "from the OS and cannot replay. (Global np.random state is "
+            "SPMD002; this extends the contract to nominally-local but "
+            "unseeded generators.)"
+        ),
+    ),
+)
+
+PLAN_RULES = (
+    Rule(
+        id="PLAN401",
+        name="duplicate-checkpoint-key",
+        severity=ERROR,
+        summary="two subproblems share one checkpoint key",
+        rationale=(
+            "Checkpoint records are keyed by Subproblem.key; a duplicate "
+            "key makes the second write clobber the first, so a restarted "
+            "run recovers the wrong payload and the resume is no longer "
+            "bitwise-identical. Statically: a constant key built inside a "
+            "task loop is a duplicate in waiting."
+        ),
+    ),
+    Rule(
+        id="PLAN402",
+        name="warm-start-order",
+        severity=ERROR,
+        summary="chain tasks out of warm-start order",
+        rationale=(
+            "Tasks in one chain share bootstrap data and λ-path warm "
+            "starts and must run in list order: positions must be "
+            "0,1,2,... and λ indices monotone, and a chain must not mix "
+            "stages or bootstraps. An out-of-order chain warm-starts the "
+            "solver from the wrong β and changes every downstream bit."
+        ),
+    ),
+    Rule(
+        id="PLAN403",
+        name="grid-coverage",
+        severity=ERROR,
+        summary="stage does not cover the (bootstrap, λ) grid exactly once",
+        rationale=(
+            "Selection must enumerate every bootstrap 0..B1-1 (and, for "
+            "per-λ plans, every λ 0..q-1) exactly once, estimation "
+            "likewise over B2: a gap silently drops a subproblem from the "
+            "intersection/union, a duplicate double-counts it — neither "
+            "crashes, both corrupt the estimator."
+        ),
+    ),
+    Rule(
+        id="PLAN404",
+        name="collective-congruence",
+        severity=ERROR,
+        summary="rank-divergent collective schedule provable from the plan",
+        rationale=(
+            "The static twin of DYN201/202: every cell must own a "
+            "disjoint, exhaustive slice of the task grid, run_chain must "
+            "not post world-wide collectives (ownership filtering makes "
+            "them rank-divergent), and reduce's collectives must be "
+            "unconditional — otherwise ranks disagree on the collective "
+            "sequence and the run deadlocks or combines unrelated "
+            "payloads."
+        ),
+    ),
+)
+
+SUPPRESSION_RULES = (
+    Rule(
+        id="SUP001",
+        name="stale-suppression",
+        severity=WARNING,
+        summary="rule-scoped suppression matches no finding",
+        rationale=(
+            "A `# repro: ignore[RULE]` that no longer suppresses anything "
+            "is dead weight that will silently swallow the next real "
+            "finding on that line; remove it once the underlying issue is "
+            "fixed."
+        ),
+    ),
+)
+
 #: id -> Rule for every rule, static and dynamic.
-RULES: dict[str, Rule] = {r.id: r for r in STATIC_RULES + DYNAMIC_RULES}
+RULES: dict[str, Rule] = {
+    r.id: r
+    for r in (
+        STATIC_RULES
+        + SHAPE_RULES
+        + DYNAMIC_RULES
+        + DETERMINISM_RULES
+        + PLAN_RULES
+        + SUPPRESSION_RULES
+    )
+}
 
 
 def get_rule(rule_id: str) -> Rule:

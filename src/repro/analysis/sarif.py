@@ -1,0 +1,104 @@
+"""SARIF 2.1.0 export of :class:`~repro.analysis.findings.Finding`.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format GitHub code scanning ingests: uploading a
+``repro check`` run as SARIF annotates every finding inline on the PR
+diff, at the exact ``file:line`` the checker reported.  The CI check
+job produces one via ``repro check all --sarif-out`` and uploads it
+with ``github/codeql-action/upload-sarif``.
+
+The document is minimal but complete: one run, one tool driver named
+``repro-check`` whose ``rules`` array carries the full registry
+(id, summary, rationale) so GitHub renders the *why* next to each
+annotation, and one result per finding.  Severities map
+``error → error``, ``warning → warning``, ``info → note``.  Findings
+without a source position (``line == 0``, e.g. runtime/plan findings)
+omit the region, per spec.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import ERROR, WARNING, Finding
+from repro.analysis.rules import RULES
+
+__all__ = ["SARIF_VERSION", "findings_to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {ERROR: "error", WARNING: "warning"}  # info -> note (default)
+
+
+def _rule_descriptor(rule_id: str) -> dict:
+    rule = RULES[rule_id]
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "fullDescription": {"text": rule.rationale},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity, "note")
+        },
+    }
+
+
+def _result(finding: Finding, rule_index: dict[str, int]) -> dict:
+    location: dict = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": finding.file.replace("\\", "/")}
+        }
+    }
+    if finding.line > 0:
+        location["physicalLocation"]["region"] = {
+            "startLine": finding.line
+        }
+    result: dict = {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "note"),
+        "message": {"text": finding.message},
+        "locations": [location],
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    if finding.context:
+        result["properties"] = {"context": dict(finding.context)}
+    return result
+
+
+def findings_to_sarif(
+    findings: list[Finding], *, indent: int | None = 2
+) -> str:
+    """Serialize findings as a SARIF 2.1.0 document (JSON string).
+
+    The ``rules`` array lists only the rules the findings reference
+    (plus their registry metadata), keeping the document small; an
+    empty findings list yields a valid document with zero results —
+    the shape GitHub expects from a clean run.
+    """
+    referenced = sorted({f.rule for f in findings if f.rule in RULES})
+    rule_index = {rule_id: i for i, rule_id in enumerate(referenced)}
+    ordered = sorted(findings, key=lambda f: (f.file, f.line, f.rule))
+    doc = {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "rules": [
+                            _rule_descriptor(rid) for rid in referenced
+                        ],
+                    }
+                },
+                "results": [_result(f, rule_index) for f in ordered],
+            }
+        ],
+    }
+    return json.dumps(doc, indent=indent)

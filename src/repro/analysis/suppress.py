@@ -1,0 +1,157 @@
+"""Shared ``# repro: ignore[...]`` suppression machinery.
+
+Every static pass — the SPMD linter, the SHAPE shape/memory
+interpreter, the DET determinism-taint pass, and the PLAN plan
+verifier's AST side — filters its findings through one
+:class:`Suppressions` instance per file, so the directive syntax and
+semantics are identical everywhere:
+
+``# repro: ignore[RULE]``
+    Suppress findings of ``RULE`` on this line.
+``# repro: ignore[RULE1,RULE2]``
+    Comma-separated rule list.
+``# repro: ignore``
+    Suppress every rule on this line (discouraged; prefer naming the
+    rule so stale directives can be detected).
+
+Each pass owns a rule-id *family* (``SPMD``, ``SHAPE``, ``DET``,
+``PLAN``): a rule-scoped suppression that names a rule of the running
+pass's family but matched no finding is itself reported as a
+:data:`~repro.analysis.rules.STALE_RULE` finding (warning severity) —
+dead suppressions hide future regressions.  Suppressions naming rules
+of *other* families are left for those passes to account for, and bare
+``# repro: ignore`` directives are never reported stale (the pass
+cannot know whether another family used them).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+from repro.analysis.findings import Finding
+
+__all__ = ["IGNORE_RE", "Suppressions", "filter_findings"]
+
+IGNORE_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+#: Rule id of stale-suppression findings (registered in
+#: :mod:`repro.analysis.rules`).
+STALE_RULE = "SUP001"
+
+
+def _comment_lines(source: str) -> list[tuple[int, str]]:
+    """``(lineno, text)`` of every *real* comment in ``source``.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps directive
+    text quoted inside strings and docstrings — e.g. a rule-registry
+    rationale describing the syntax — from being parsed as a live
+    suppression and then reported stale.  Falls back to a raw line
+    scan if the source does not tokenize (the AST passes will raise a
+    real syntax error anyway).
+    """
+    try:
+        return [
+            (tok.start[0], tok.string)
+            for tok in tokenize.generate_tokens(io.StringIO(source).readline)
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return list(enumerate(source.splitlines(), start=1))
+
+
+class Suppressions:
+    """Per-line ``# repro: ignore[...]`` directives of one file.
+
+    ``suppressed`` records which directives actually matched a finding;
+    :meth:`stale_findings` then reports the rule-scoped leftovers of
+    the caller's rule family.
+    """
+
+    def __init__(self, source: str) -> None:
+        #: line -> ``None`` (bare ignore) or the named rule ids.
+        self.by_line: dict[int, frozenset[str] | None] = {}
+        self._used: set[tuple[int, str]] = set()
+        self._bare_used: set[int] = set()
+        for lineno, text in _comment_lines(source):
+            m = IGNORE_RE.search(text)
+            if not m:
+                continue
+            rules = m.group("rules")
+            if rules is None:
+                self.by_line[lineno] = None  # suppress everything
+            else:
+                self.by_line[lineno] = frozenset(
+                    r.strip().upper() for r in rules.split(",") if r.strip()
+                )
+
+    def suppressed(self, rule_id: str, lineno: int) -> bool:
+        """Whether ``rule_id`` at ``lineno`` is suppressed (and mark use)."""
+        if lineno not in self.by_line:
+            return False
+        rules = self.by_line[lineno]
+        if rules is None:
+            self._bare_used.add(lineno)
+            return True
+        if rule_id in rules:
+            self._used.add((lineno, rule_id))
+            return True
+        return False
+
+    def stale_findings(
+        self, filename: str, families: tuple[str, ...]
+    ) -> list[Finding]:
+        """Unused rule-scoped directives of the given rule families.
+
+        ``families`` are rule-id prefixes (``("SPMD",)``, ``("SHAPE",)``
+        ...).  A directive naming ``SHAPE101`` is only the SHAPE pass's
+        to report: the SPMD linter walking the same file must not call
+        it stale.
+        """
+        out: list[Finding] = []
+        for lineno in sorted(self.by_line):
+            rules = self.by_line[lineno]
+            if rules is None:
+                continue  # bare ignores are family-ambiguous
+            for rule_id in sorted(rules):
+                if not any(rule_id.startswith(f) for f in families):
+                    continue
+                if (lineno, rule_id) in self._used:
+                    continue
+                out.append(
+                    Finding(
+                        rule=STALE_RULE,
+                        severity="warning",
+                        message=(
+                            f"stale suppression: `# repro: ignore[{rule_id}]` "
+                            "matches no finding on this line — remove it"
+                        ),
+                        file=filename,
+                        line=lineno,
+                        source="lint",
+                        context={"suppressed_rule": rule_id},
+                    )
+                )
+        return out
+
+
+def filter_findings(
+    source: str,
+    filename: str,
+    findings: list[Finding],
+    families: tuple[str, ...],
+) -> list[Finding]:
+    """Apply suppressions and append stale-directive findings.
+
+    The shared tail of every static pass: drop suppressed findings,
+    report this family's unused rule-scoped directives, and return the
+    result sorted by location.
+    """
+    sup = Suppressions(source)
+    kept = [f for f in findings if not sup.suppressed(f.rule, f.line)]
+    kept.extend(sup.stale_findings(filename, families))
+    kept.sort(key=lambda f: (f.file, f.line, f.rule))
+    return kept

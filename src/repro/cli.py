@@ -24,11 +24,14 @@ Subcommands
     chain/subproblem counts per stage, checkpoint-key patterns, and
     the estimated floating-point cost (with modeled seconds on the
     chosen machine) — without solving anything.
-``check [lint|dynamic|all] [--format human|json] [-o FILE]``
-    Correctness gate: static SPMD lint over the installed ``repro``
-    package plus the dynamic (collective-matching / RMA-race /
+``check [lint|shapes|determinism|plan|static|dynamic|all] ...``
+    Correctness gate: the four static passes (SPMD lint, symbolic
+    shape/memory interpretation, determinism taint, plan
+    verification) plus the dynamic (collective-matching / RMA-race /
     deadlock) checker battery.  Exits 0 iff there are zero findings;
-    ``-o`` additionally writes the findings as JSON (the CI artifact).
+    ``--format human|json|sarif`` selects the stdout rendering, ``-o``
+    additionally writes findings JSON (the CI artifact), and
+    ``--sarif-out`` writes SARIF 2.1.0 for GitHub code scanning.
 ``trace record|summary|chrome|diff|validate ...``
     Telemetry tooling: ``record`` runs small telemetry-enabled fits
     and exports their manifests + Chrome traces; ``summary`` renders a
@@ -162,14 +165,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     check = sub.add_parser(
-        "check", help="run the SPMD correctness gate (lint + dynamic checkers)"
+        "check",
+        help="run the correctness gate (static passes + dynamic checkers)",
     )
     check.add_argument(
         "mode",
         nargs="?",
-        choices=["lint", "dynamic", "all"],
+        choices=[
+            "lint",
+            "shapes",
+            "determinism",
+            "plan",
+            "static",
+            "dynamic",
+            "all",
+        ],
         default="all",
-        help="which checkers to run (default: all)",
+        help="which checkers to run (static = lint+shapes+determinism+plan; "
+        "default: all)",
     )
     check.add_argument(
         "--path",
@@ -177,21 +190,35 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         dest="paths",
-        help="lint these files/directories instead of the installed repro "
-        "package (repeatable)",
+        help="check these files/directories instead of each pass's default "
+        "tree (repeatable)",
     )
     check.add_argument(
         "--nranks", type=int, default=4, help="world size for the dynamic battery"
     )
     check.add_argument(
+        "--rank-budget-gib",
+        type=float,
+        default=None,
+        metavar="GIB",
+        help="per-rank memory budget for the shapes pass (default 4 GiB)",
+    )
+    check.add_argument(
         "--format",
-        choices=["human", "json"],
+        choices=["human", "json", "sarif"],
         default="human",
         help="findings output format on stdout",
     )
     check.add_argument(
         "-o", "--out", default=None, metavar="FILE",
         help="also write findings as JSON to FILE (CI artifact)",
+    )
+    check.add_argument(
+        "--sarif-out",
+        default=None,
+        metavar="FILE",
+        help="also write findings as SARIF 2.1.0 to FILE (GitHub "
+        "code-scanning upload)",
     )
 
     trace = sub.add_parser("trace", help="telemetry manifests and Chrome traces")
@@ -364,11 +391,24 @@ def _summarize_manifest(path: str) -> None:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    from repro.analysis import findings_to_json, format_findings, run_check
+    from repro.analysis import (
+        MemoryBudget,
+        findings_to_json,
+        findings_to_sarif,
+        format_findings,
+        run_check,
+    )
 
-    findings = run_check(args.mode, paths=args.paths, nranks=args.nranks)
+    budget = None
+    if args.rank_budget_gib is not None:
+        budget = MemoryBudget(per_rank_bytes=args.rank_budget_gib * 2**30)
+    findings = run_check(
+        args.mode, paths=args.paths, nranks=args.nranks, budget=budget
+    )
     if args.format == "json":
         print(findings_to_json(findings))
+    elif args.format == "sarif":
+        print(findings_to_sarif(findings))
     else:
         print(format_findings(findings))
     if args.out is not None:
@@ -376,6 +416,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
             fh.write(findings_to_json(findings))
             fh.write("\n")
         print(f"wrote {args.out} ({len(findings)} finding(s))")
+    if args.sarif_out is not None:
+        with open(args.sarif_out, "w", encoding="utf-8") as fh:
+            fh.write(findings_to_sarif(findings))
+            fh.write("\n")
+        print(f"wrote {args.sarif_out} ({len(findings)} finding(s), SARIF)")
     return 1 if findings else 0
 
 

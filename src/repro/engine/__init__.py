@@ -38,7 +38,9 @@ from repro.engine.executors import (
     MultiprocessExecutor,
     SerialExecutor,
     SimMpiExecutor,
+    VerifyingExecutor,
     annotate_failure,
+    plan_verification_enabled,
     run_plan,
 )
 from repro.engine.plans import LassoPlan, VarPlan
@@ -57,6 +59,8 @@ __all__ = [
     "SerialExecutor",
     "MultiprocessExecutor",
     "SimMpiExecutor",
+    "VerifyingExecutor",
+    "plan_verification_enabled",
     "LassoPlan",
     "VarPlan",
     "run_plan",
@@ -83,15 +87,25 @@ BACKENDS = {
 }
 
 
-def make_executor(name: str, **kwargs) -> Executor:
-    """Executor instance for a backend name (see :data:`BACKENDS`)."""
+def make_executor(name: str, verify: bool = False, **kwargs: object) -> Executor:
+    """Executor instance for a backend name (see :data:`BACKENDS`).
+
+    ``verify=True`` wraps the backend in a
+    :class:`~repro.engine.executors.VerifyingExecutor`, which runs
+    :func:`repro.analysis.planver.verify_plan` on each plan before its
+    first stage (process-wide opt-in: ``REPRO_PLAN_VERIFY=1``, checked
+    by :func:`run_plan` itself).
+    """
     try:
         factory, _ = BACKENDS[name]
     except KeyError:
         raise ValueError(
             f"unknown engine backend {name!r}; choose from {sorted(BACKENDS)}"
         ) from None
-    return factory(**kwargs)
+    executor = factory(**kwargs)
+    if verify:
+        executor = VerifyingExecutor(executor)
+    return executor
 
 
 def default_executor() -> Executor:

@@ -34,19 +34,30 @@ import multiprocessing
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Any, Iterable
 
 import numpy as np
 
 from repro.engine.hooks import EngineHook, HookList
 from repro.engine.plan import Subproblem, UoIPlan
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards, typing only
+    from repro.core.parallel import ProcessGrid
+    from repro.simmpi.comm import SimComm
+    from repro.simmpi.machine import Machine
+
+#: The engine's result currency: one checkpointable payload per task.
+Payload = dict[str, np.ndarray]
+
 __all__ = [
     "Executor",
     "SerialExecutor",
     "MultiprocessExecutor",
     "SimMpiExecutor",
+    "VerifyingExecutor",
     "run_plan",
     "annotate_failure",
+    "plan_verification_enabled",
 ]
 
 
@@ -113,8 +124,14 @@ class SerialExecutor(Executor):
 
     name = "serial"
 
-    def run_stage(self, plan, stage, chains, hooks):
-        results: dict[str, dict[str, np.ndarray]] = {}
+    def run_stage(
+        self,
+        plan: UoIPlan,
+        stage: str,
+        chains: list[list[Subproblem]],
+        hooks: HookList,
+    ) -> dict[str, Payload]:
+        results: dict[str, Payload] = {}
         for chain in chains:
             recovered = _lookup_chain(chain, hooks)
             for task in chain:
@@ -126,7 +143,11 @@ class SerialExecutor(Executor):
             if len(recovered) == len(chain):
                 continue
 
-            def emit(task, payload, _results=results):
+            def emit(
+                task: Subproblem,
+                payload: Payload,
+                _results: dict[str, Payload] = results,
+            ) -> None:
                 _results[task.key] = payload
                 hooks.on_subproblem_done(task, payload, recovered=False)
 
@@ -158,9 +179,9 @@ def _mp_run_chain(
 ) -> dict[str, dict[str, np.ndarray]]:
     plan, stage = _MP_STATE["plan"], _MP_STATE["stage"]
     chain = _MP_STATE["chains"][chain_index]
-    out: dict[str, dict[str, np.ndarray]] = {}
+    out: dict[str, Payload] = {}
 
-    def emit(task, payload):
+    def emit(task: Subproblem, payload: Payload) -> None:
         out[task.key] = payload
 
     try:
@@ -204,8 +225,14 @@ class MultiprocessExecutor(Executor):
         self.max_workers = max_workers
         self.start_method = start_method
 
-    def run_stage(self, plan, stage, chains, hooks):
-        recovered_by_chain: list[dict] = []
+    def run_stage(
+        self,
+        plan: UoIPlan,
+        stage: str,
+        chains: list[list[Subproblem]],
+        hooks: HookList,
+    ) -> dict[str, Payload]:
+        recovered_by_chain: list[dict[str, Payload]] = []
         pending: list[int] = []
         for ci, chain in enumerate(chains):
             recovered = _lookup_chain(chain, hooks)
@@ -213,7 +240,7 @@ class MultiprocessExecutor(Executor):
             if len(recovered) < len(chain):
                 pending.append(ci)
 
-        computed: dict[int, dict[str, dict[str, np.ndarray]]] = {}
+        computed: dict[int, dict[str, Payload]] = {}
         if pending:
             blob = pickle.dumps((plan, stage))
             ctx = multiprocessing.get_context(self.start_method)
@@ -242,7 +269,7 @@ class MultiprocessExecutor(Executor):
                         raise
 
         # Deterministic hook replay + result assembly, in chain order.
-        results: dict[str, dict[str, np.ndarray]] = {}
+        results: dict[str, Payload] = {}
         for ci, chain in enumerate(chains):
             recovered = recovered_by_chain[ci]
             solved = computed.get(ci, {})
@@ -286,7 +313,9 @@ class SimMpiExecutor(Executor):
 
     name = "simmpi"
 
-    def __init__(self, nranks: int = 2, machine=None) -> None:
+    def __init__(
+        self, nranks: int = 2, machine: "Machine | None" = None
+    ) -> None:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
         self.nranks = nranks
@@ -294,21 +323,33 @@ class SimMpiExecutor(Executor):
         self._grid = None
 
     @classmethod
-    def bound(cls, grid) -> "SimMpiExecutor":
+    def bound(cls, grid: "ProcessGrid") -> "SimMpiExecutor":
         """Per-rank executor bound to an existing SPMD process grid."""
         ex = cls(nranks=grid.world.size)
         ex._grid = grid
         return ex
 
     # ----------------------------------------------------------- modes
-    def run_stage(self, plan, stage, chains, hooks):
+    def run_stage(
+        self,
+        plan: UoIPlan,
+        stage: str,
+        chains: list[list[Subproblem]],
+        hooks: HookList,
+    ) -> dict[str, Payload]:
         if self._grid is not None:
             return self._run_bound(plan, stage, chains, hooks)
         return self._run_standalone(plan, stage, chains, hooks)
 
-    def _run_bound(self, plan, stage, chains, hooks):
+    def _run_bound(
+        self,
+        plan: UoIPlan,
+        stage: str,
+        chains: list[list[Subproblem]],
+        hooks: HookList,
+    ) -> dict[str, Payload]:
         grid = self._grid
-        results: dict[str, dict[str, np.ndarray]] = {}
+        results: dict[str, Payload] = {}
         for chain in chains:
             if not grid.owns_bootstrap(chain[0].bootstrap):
                 continue
@@ -329,7 +370,11 @@ class SimMpiExecutor(Executor):
             if len(recovered) == len(owned):
                 continue
 
-            def emit(task, payload, _results=results):
+            def emit(
+                task: Subproblem,
+                payload: Payload,
+                _results: dict[str, Payload] = results,
+            ) -> None:
                 _results[task.key] = payload
                 hooks.on_subproblem_done(task, payload, recovered=False)
 
@@ -340,11 +385,17 @@ class SimMpiExecutor(Executor):
                 raise
         return results
 
-    def _run_standalone(self, plan, stage, chains, hooks):
+    def _run_standalone(
+        self,
+        plan: UoIPlan,
+        stage: str,
+        chains: list[list[Subproblem]],
+        hooks: HookList,
+    ) -> dict[str, Payload]:
         from repro.simmpi.executor import SpmdError, run_spmd
         from repro.simmpi.machine import LAPTOP
 
-        recovered_by_chain: list[dict] = []
+        recovered_by_chain: list[dict[str, Payload]] = []
         pending: list[int] = []
         for ci, chain in enumerate(chains):
             recovered = _lookup_chain(chain, hooks)
@@ -352,14 +403,14 @@ class SimMpiExecutor(Executor):
             if len(recovered) < len(chain):
                 pending.append(ci)
 
-        computed: dict[str, dict[str, np.ndarray]] = {}
+        computed: dict[str, Payload] = {}
         if pending:
             backend = self.name
 
-            def rank_program(comm):
-                out: dict[str, dict[str, np.ndarray]] = {}
+            def rank_program(comm: "SimComm") -> dict[str, Payload] | None:
+                out: dict[str, Payload] = {}
 
-                def emit(task, payload):
+                def emit(task: Subproblem, payload: Payload) -> None:
                     out[task.key] = payload
 
                 for ci in pending:
@@ -376,7 +427,7 @@ class SimMpiExecutor(Executor):
                 gathered = comm.gather(out, root=0)
                 if comm.rank != 0:
                     return None
-                merged: dict[str, dict[str, np.ndarray]] = {}
+                merged: dict[str, Payload] = {}
                 for part in gathered:
                     merged.update(part)
                 return merged
@@ -390,7 +441,7 @@ class SimMpiExecutor(Executor):
                 raise SpmdError(sorted(res.failed_ranks.items()))
             computed = res.values[0]
 
-        results: dict[str, dict[str, np.ndarray]] = {}
+        results: dict[str, Payload] = {}
         for ci, chain in enumerate(chains):
             recovered = recovered_by_chain[ci]
             for task in chain:
@@ -408,9 +459,57 @@ class SimMpiExecutor(Executor):
 
 
 # ---------------------------------------------------------------------------
+# pre-run verification
+# ---------------------------------------------------------------------------
+class VerifyingExecutor(Executor):
+    """Wrap a backend, verifying each plan before its first stage.
+
+    The wrapped executor's behavior is untouched; the only addition is
+    one read-only :func:`repro.analysis.planver.verify_plan` pass per
+    plan (cached by plan identity), raising
+    :class:`~repro.analysis.planver.PlanVerificationError` on any
+    finding.  Obtained via ``make_executor(name, verify=True)``.
+    """
+
+    def __init__(self, inner: Executor) -> None:
+        self.inner = inner
+        self._verified: set[int] = set()
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.inner.name
+
+    def run_stage(
+        self,
+        plan: UoIPlan,
+        stage: str,
+        chains: list[list[Subproblem]],
+        hooks: HookList,
+    ) -> dict[str, Payload]:
+        if id(plan) not in self._verified:
+            from repro.analysis.planver import assert_valid_plan
+
+            assert_valid_plan(plan)
+            self._verified.add(id(plan))
+        return self.inner.run_stage(plan, stage, chains, hooks)
+
+
+def plan_verification_enabled() -> bool:
+    """Whether ``REPRO_PLAN_VERIFY`` opts this process into pre-run
+    plan verification (any value but empty/``0``/``false``/``no``)."""
+    value = os.environ.get("REPRO_PLAN_VERIFY", "").strip().lower()
+    return value not in ("", "0", "false", "no")
+
+
+# ---------------------------------------------------------------------------
 # driver loop
 # ---------------------------------------------------------------------------
-def run_plan(plan: UoIPlan, executor: Executor, hooks=()):
+def run_plan(
+    plan: UoIPlan,
+    executor: Executor,
+    hooks: "Iterable[EngineHook] | HookList" = (),
+    verify: bool | None = None,
+) -> Any:
     """Run every stage of ``plan`` on ``executor``; returns ``finalize()``.
 
     Per stage: execute all chains, fire ``on_stage_end`` (checkpoint
@@ -418,7 +517,21 @@ def run_plan(plan: UoIPlan, executor: Executor, hooks=()):
     reduction's collectives — the ordering the legacy drivers pinned),
     then reduce.  ``hooks`` is any iterable of
     :class:`~repro.engine.hooks.EngineHook`.
+
+    ``verify`` opts into pre-run plan verification
+    (:func:`repro.analysis.planver.verify_plan`): ``True``/``False``
+    explicitly, or ``None`` (default) to follow the
+    ``REPRO_PLAN_VERIFY`` environment variable.  All four UoI drivers
+    funnel through this loop, so the env knob covers every entry
+    point.  Verification is read-only — verified runs are bitwise
+    identical to unverified ones.
     """
+    if verify is None:
+        verify = plan_verification_enabled()
+    if verify:
+        from repro.analysis.planver import assert_valid_plan
+
+        assert_valid_plan(plan)
     hook_list = hooks if isinstance(hooks, HookList) else HookList(hooks)
     hook_list.on_run_start(plan, executor)
     for stage in plan.stages:

@@ -25,11 +25,12 @@ wins, and the engine treats the task as already solved.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.engine.executors import Executor
     from repro.engine.plan import Subproblem, UoIPlan
 
 __all__ = ["EngineHook", "HookList", "RecordingHook", "ProgressHook"]
@@ -38,7 +39,7 @@ __all__ = ["EngineHook", "HookList", "RecordingHook", "ProgressHook"]
 class EngineHook:
     """Base hook: every callback is a no-op; override what you need."""
 
-    def on_run_start(self, plan: "UoIPlan", executor) -> None:
+    def on_run_start(self, plan: "UoIPlan", executor: "Executor") -> None:
         """Called once before the first stage."""
 
     def lookup(self, task: "Subproblem") -> dict[str, np.ndarray] | None:
@@ -71,26 +72,32 @@ class HookList(EngineHook):
     def __init__(self, hooks: Iterable[EngineHook] = ()) -> None:
         self.hooks: list[EngineHook] = list(hooks)
 
-    def on_run_start(self, plan, executor) -> None:
+    def on_run_start(self, plan: "UoIPlan", executor: "Executor") -> None:
         for h in self.hooks:
             h.on_run_start(plan, executor)
 
-    def lookup(self, task):
+    def lookup(self, task: "Subproblem") -> dict[str, np.ndarray] | None:
         for h in self.hooks:
             payload = h.lookup(task)
             if payload is not None:
                 return payload
         return None
 
-    def on_subproblem_done(self, task, payload, *, recovered) -> None:
+    def on_subproblem_done(
+        self,
+        task: "Subproblem",
+        payload: dict[str, np.ndarray],
+        *,
+        recovered: bool,
+    ) -> None:
         for h in self.hooks:
             h.on_subproblem_done(task, payload, recovered=recovered)
 
-    def on_stage_end(self, stage, plan) -> None:
+    def on_stage_end(self, stage: str, plan: "UoIPlan") -> None:
         for h in self.hooks:
             h.on_stage_end(stage, plan)
 
-    def on_run_end(self, plan) -> None:
+    def on_run_end(self, plan: "UoIPlan") -> None:
         for h in self.hooks:
             h.on_run_end(plan)
 
@@ -106,16 +113,22 @@ class RecordingHook(EngineHook):
     def __init__(self) -> None:
         self.events: list[tuple] = []
 
-    def on_run_start(self, plan, executor) -> None:
+    def on_run_start(self, plan: "UoIPlan", executor: "Executor") -> None:
         self.events.append(("run_start", plan.kind))
 
-    def on_subproblem_done(self, task, payload, *, recovered) -> None:
+    def on_subproblem_done(
+        self,
+        task: "Subproblem",
+        payload: dict[str, np.ndarray],
+        *,
+        recovered: bool,
+    ) -> None:
         self.events.append(("done", task.key, recovered))
 
-    def on_stage_end(self, stage, plan) -> None:
+    def on_stage_end(self, stage: str, plan: "UoIPlan") -> None:
         self.events.append(("stage_end", stage))
 
-    def on_run_end(self, plan) -> None:
+    def on_run_end(self, plan: "UoIPlan") -> None:
         self.events.append(("run_end", plan.kind))
 
 
@@ -126,19 +139,27 @@ class ProgressHook(EngineHook):
     (total comes from the plan's own enumeration at run start).
     """
 
-    def __init__(self, callback=None) -> None:
+    def __init__(
+        self, callback: Callable[[str, int, int], None] | None = None
+    ) -> None:
         self.callback = callback
         self.totals: dict[str, int] = {}
         self.done: dict[str, int] = {}
 
-    def on_run_start(self, plan, executor) -> None:
+    def on_run_start(self, plan: "UoIPlan", executor: "Executor") -> None:
         desc = plan.describe()
         self.totals = {
             stage: info["subproblems"] for stage, info in desc["stages"].items()
         }
         self.done = {stage: 0 for stage in self.totals}
 
-    def on_subproblem_done(self, task, payload, *, recovered) -> None:
+    def on_subproblem_done(
+        self,
+        task: "Subproblem",
+        payload: dict[str, np.ndarray],
+        *,
+        recovered: bool,
+    ) -> None:
         self.done[task.stage] = self.done.get(task.stage, 0) + 1
         if self.callback is not None:
             self.callback(

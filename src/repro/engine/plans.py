@@ -14,6 +14,8 @@ before the engine refactor resume bitwise-identically.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.core.bootstrap import (
@@ -240,7 +242,7 @@ class LassoPlan(UoIPlan):
             "intersection_frac": cfg.intersection_frac,
         }
 
-    def chains(self, stage):
+    def chains(self, stage: str) -> list[list[Subproblem]]:
         if stage == SELECTION:
             return [
                 [Subproblem(SELECTION, k, None, f"serial-sel/k{k}", k, 0)]
@@ -251,7 +253,13 @@ class LassoPlan(UoIPlan):
             for k in range(self.B2)
         ]
 
-    def run_chain(self, stage, tasks, recovered, emit):
+    def run_chain(
+        self,
+        stage: str,
+        tasks: list[Subproblem],
+        recovered: dict[str, dict[str, np.ndarray]],
+        emit: Callable[[Subproblem, dict[str, np.ndarray]], None],
+    ) -> None:
         (task,) = tasks
         k = task.bootstrap
         if stage == SELECTION:
@@ -268,7 +276,9 @@ class LassoPlan(UoIPlan):
                 )
             emit(task, {"estimates": est, "losses": losses})
 
-    def reduce(self, stage, results):
+    def reduce(
+        self, stage: str, results: dict[str, dict[str, np.ndarray]]
+    ) -> None:
         cfg = self.config
         if stage == SELECTION:
             betas = np.empty((self.B1, self.q, self.p))
@@ -297,7 +307,7 @@ class LassoPlan(UoIPlan):
             raise RuntimeError("plan has not been reduced yet")
         return self.outputs
 
-    def estimate_flops(self):
+    def estimate_flops(self) -> dict[str, float]:
         n, p, q = float(self.n), float(self.p), float(self.q)
         per_sel = 2 * n * p * p + (2 / 3) * p**3 + q * _EST_ITERS * 4 * n * p
         per_est = q * (2 * n * p * p + (2 / 3) * p**3)
@@ -367,7 +377,7 @@ class VarPlan(UoIPlan):
             "intersection_frac": lcfg.intersection_frac,
         }
 
-    def chains(self, stage):
+    def chains(self, stage: str) -> list[list[Subproblem]]:
         if stage == SELECTION:
             return [
                 [Subproblem(SELECTION, k, None, f"serial-var-sel/k{k}", k, 0)]
@@ -378,7 +388,13 @@ class VarPlan(UoIPlan):
             for k in range(self.B2)
         ]
 
-    def run_chain(self, stage, tasks, recovered, emit):
+    def run_chain(
+        self,
+        stage: str,
+        tasks: list[Subproblem],
+        recovered: dict[str, dict[str, np.ndarray]],
+        emit: Callable[[Subproblem, dict[str, np.ndarray]], None],
+    ) -> None:
         lcfg = self.config.lasso
         (task,) = tasks
         k = task.bootstrap
@@ -398,7 +414,9 @@ class VarPlan(UoIPlan):
                 )
             emit(task, {"estimates": est, "losses": losses})
 
-    def reduce(self, stage, results):
+    def reduce(
+        self, stage: str, results: dict[str, dict[str, np.ndarray]]
+    ) -> None:
         lcfg = self.config.lasso
         if stage == SELECTION:
             masks = np.empty((self.B1, self.q, self.kdim * self.p), dtype=bool)
@@ -428,7 +446,7 @@ class VarPlan(UoIPlan):
             raise RuntimeError("plan has not been reduced yet")
         return self.outputs
 
-    def estimate_flops(self):
+    def estimate_flops(self) -> dict[str, float]:
         m, kdim, p, q = (
             float(self.m),
             float(self.kdim),

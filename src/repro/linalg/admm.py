@@ -164,7 +164,10 @@ class LassoADMM:
         """(Re)factor the x-update system for penalty ``rho``."""
         if self._woodbury:
             small = self._gram_base / rho
-            small = small + np.eye(self.n)
+            # Woodbury is only taken when n < p, so this eye is the
+            # *small* system (min(n, p)²) — bounded by the guard the
+            # shape interpreter cannot see.
+            small = small + np.eye(self.n)  # repro: ignore[SHAPE102]
             self._chol = scipy.linalg.cho_factor(
                 small, lower=True, check_finite=False
             )

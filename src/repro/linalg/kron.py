@@ -43,6 +43,23 @@ __all__ = [
 ]
 
 
+def _as_float(a: np.ndarray) -> np.ndarray:
+    """Float array preserving single precision.
+
+    float32 stays float32 (the lifted design is ≈ p³ the data size, so
+    halving its memory matters at paper scale); everything else
+    normalizes to float64.  Every entry point in this module funnels
+    through this, so the dtype a caller hands in is the dtype the
+    whole ``I ⊗ X`` pipeline computes in — previously float32 input
+    was silently upcast by ``dtype=float`` coercions and the float64
+    default of ``np.eye``, doubling memory mid-pipeline.
+    """
+    a = np.asarray(a)
+    if a.dtype == np.float32:
+        return a
+    return np.asarray(a, dtype=np.float64)
+
+
 def vec(Y: np.ndarray) -> np.ndarray:
     """Column-stacking vectorization: ``vec(Y)[i + m*j] = Y[i, j]``."""
     Y = np.asarray(Y)
@@ -73,14 +90,14 @@ def identity_kron(X: np.ndarray, p: int, *, sparse: bool = True):
         Return ``scipy.sparse.csr_matrix`` (default, matching the
         paper's Eigen-Sparse implementation) or a dense ndarray.
     """
-    X = np.asarray(X, dtype=float)
+    X = _as_float(X)
     if X.ndim != 2:
         raise ValueError(f"X must be 2-D, got shape {X.shape}")
     if p < 1:
         raise ValueError(f"p must be >= 1, got {p}")
     if sparse:
         return scipy.sparse.block_diag([scipy.sparse.csr_matrix(X)] * p, format="csr")
-    return np.kron(np.eye(p), X)
+    return np.kron(np.eye(p, dtype=X.dtype), X)
 
 
 def kron_sparsity(p: int) -> float:
@@ -98,7 +115,7 @@ class IdentityKronOperator:
     """
 
     def __init__(self, X: np.ndarray, p: int) -> None:
-        X = np.asarray(X, dtype=float)
+        X = _as_float(X)
         if X.ndim != 2:
             raise ValueError(f"X must be 2-D, got shape {X.shape}")
         if p < 1:
@@ -109,16 +126,16 @@ class IdentityKronOperator:
         self.shape = (m * p, k * p)
 
     def matvec(self, v: np.ndarray) -> np.ndarray:
-        """Compute ``(I ⊗ X) v``."""
-        v = np.asarray(v, dtype=float)
+        """Compute ``(I ⊗ X) v`` (in ``X``'s dtype)."""
+        v = np.asarray(v, dtype=self.X.dtype)
         if v.shape != (self.shape[1],):
             raise ValueError(f"matvec: length {v.shape} != {self.shape[1]}")
         B = unvec(v, (self.X.shape[1], self.p))
         return vec(self.X @ B)
 
     def rmatvec(self, w: np.ndarray) -> np.ndarray:
-        """Compute ``(I ⊗ X)' w``."""
-        w = np.asarray(w, dtype=float)
+        """Compute ``(I ⊗ X)' w`` (in ``X``'s dtype)."""
+        w = np.asarray(w, dtype=self.X.dtype)
         if w.shape != (self.shape[0],):
             raise ValueError(f"rmatvec: length {w.shape} != {self.shape[0]}")
         W = unvec(w, (self.X.shape[0], self.p))
@@ -160,9 +177,16 @@ def kron_lasso_columnwise(
         ``vec B`` of length ``k * p``, identical (in exact arithmetic)
         to solving the materialized lifted problem.
     """
-    X = np.asarray(X, dtype=float)
-    Y = np.asarray(Y, dtype=float)
+    X = _as_float(X)
+    Y = _as_float(Y)
+    if X.dtype != Y.dtype:
+        # One float32 operand would silently upcast the whole solve.
+        X = np.asarray(X, dtype=np.float64)
+        Y = np.asarray(Y, dtype=np.float64)
     if Y.ndim != 2 or Y.shape[0] != X.shape[0]:
         raise ValueError(f"Y shape {Y.shape} incompatible with X {X.shape}")
-    cols = [np.asarray(solver(X, Y[:, j], lam), dtype=float) for j in range(Y.shape[1])]
+    cols = [
+        np.asarray(solver(X, Y[:, j], lam), dtype=X.dtype)
+        for j in range(Y.shape[1])
+    ]
     return np.concatenate(cols)

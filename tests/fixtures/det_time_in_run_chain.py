@@ -1,0 +1,41 @@
+"""Seeded DET fixture: nondeterminism sources reachable from a plan.
+
+``tests/test_analysis_determinism.py`` asserts the exact rule id and
+line of every finding below, so edits here must keep the test's line
+numbers in sync.  The checker indexes this file standalone; the
+``UoIPlan`` base makes ``TimedPlan`` a plan by declaration, rooting
+the taint traversal at its ``run_chain``/``reduce``.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.engine.plan import UoIPlan
+
+
+class TimedPlan(UoIPlan):
+    """A plan whose chain solver breaks the determinism contract."""
+
+    stages = ("selection",)
+
+    def chains(self, stage):
+        return []
+
+    def run_chain(self, stage, tasks, recovered, emit):
+        started = time.time()
+        for task in tasks:
+            emit(task, self._solve(task, started))
+
+    def _solve(self, task, started):
+        names = os.listdir(".")
+        rng = np.random.default_rng()
+        seen = {task.key, started}
+        total = 0.0
+        for item in seen:
+            total += float(len(str(item)))
+        return {"beta": rng.standard_normal(3), "names": names, "t": total}
+
+    def reduce(self, stage, results):
+        pass

@@ -1,0 +1,41 @@
+"""Seeded PLAN fixture: duplicate checkpoint keys, static and live.
+
+``tests/test_analysis_plan.py`` asserts the exact rule id and line of
+the static finding below, and constructs :class:`DuplicateKeyPlan` to
+assert the runtime side of ``verify_plan`` reports the clobbered
+keys.  The static smell is the same bug in waiting: a constant
+``Subproblem`` key built inside the task loop.
+"""
+
+from repro.engine.plan import Subproblem, UoIPlan
+
+
+class DuplicateKeyPlan(UoIPlan):
+    """Every selection task reuses the same checkpoint key."""
+
+    stages = ("selection",)
+    kind = "fixture_duplicate_key"
+
+    def __init__(self, nboot: int = 3) -> None:
+        self.B1 = nboot
+        self.q = 1
+
+    def meta(self):
+        return {"kind": self.kind, "B1": self.B1}
+
+    def chains(self, stage):
+        out = []
+        for k in range(self.B1):
+            task = Subproblem(
+                stage=stage,
+                bootstrap=k,
+                lam_index=None,
+                key="sel/k0",
+                chain=k,
+                pos=0,
+            )
+            out.append([task])
+        return out
+
+    def reduce(self, stage, results):
+        pass

@@ -1,0 +1,27 @@
+"""Seeded SHAPE fixture: the blow-ups the shape pass must catch.
+
+``tests/test_analysis_shapes.py`` asserts the exact rule id and line
+of every finding below, so edits here must keep the test's line
+numbers in sync.  The library never imports this module; the checker
+reads it as source.
+"""
+
+import numpy as np
+
+from repro.linalg import lasso_cd
+
+
+def lift_dense(X: np.ndarray, p: int) -> np.ndarray:
+    """Dense ``I ⊗ X`` outside ``repro.linalg.kron`` (SHAPE101)."""
+    return np.kron(np.eye(p), X)
+
+
+def allocate_lifted_gram(n: int, p: int) -> np.ndarray:
+    """An ``n*p x p`` buffer is ~800 GB at paper scale (SHAPE102)."""
+    return np.zeros((n * p, p))
+
+
+def solve_single(X: np.ndarray, y: np.ndarray, lam: float) -> np.ndarray:
+    """float32 silently upcast at the solver boundary (SHAPE103)."""
+    Xs = X.astype(np.float32)
+    return lasso_cd(Xs, y, lam)

@@ -1,0 +1,244 @@
+"""Tests for the DET determinism-taint pass (``repro.analysis.determinism``)."""
+
+import os
+import textwrap
+
+from repro.analysis import determinism_check_paths, determinism_check_source
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), "fixtures", "det_time_in_run_chain.py"
+)
+
+PLAN_HEADER = """\
+class UoIPlan:
+    pass
+
+
+"""
+
+
+def check(code: str):
+    return determinism_check_source(
+        PLAN_HEADER + textwrap.dedent(code), "prog.py"
+    )
+
+
+class TestWallClock:
+    def test_time_in_run_chain_flagged(self):
+        findings = check(
+            """\
+            import time
+
+            class P(UoIPlan):
+                def run_chain(self, stage, tasks, recovered, emit):
+                    t0 = time.time()
+                    return t0
+            """
+        )
+        assert [f.rule for f in findings] == ["DET301"]
+        assert "run_chain" in findings[0].message
+
+    def test_perf_counter_in_reduce_flagged(self):
+        findings = check(
+            """\
+            import time
+
+            class P(UoIPlan):
+                def reduce(self, stage, results):
+                    return time.perf_counter()
+            """
+        )
+        assert [f.rule for f in findings] == ["DET301"]
+
+    def test_init_is_exempt(self):
+        # The contract *requires* draws (and timing is harmless) in
+        # __init__: only run_chain/reduce root the traversal.
+        findings = check(
+            """\
+            import time
+
+            class P(UoIPlan):
+                def __init__(self):
+                    self.t0 = time.time()
+            """
+        )
+        assert findings == []
+
+    def test_non_plan_class_untainted(self):
+        findings = check(
+            """\
+            import time
+
+            class Telemetry:
+                def run_chain(self, stage, tasks, recovered, emit):
+                    return time.time()
+            """
+        )
+        assert findings == []
+
+
+class TestOsOrdering:
+    def test_listdir_flagged(self):
+        findings = check(
+            """\
+            import os
+
+            class P(UoIPlan):
+                def run_chain(self, stage, tasks, recovered, emit):
+                    return os.listdir(".")
+            """
+        )
+        assert [f.rule for f in findings] == ["DET302"]
+
+    def test_sorted_listdir_clean(self):
+        findings = check(
+            """\
+            import os
+
+            class P(UoIPlan):
+                def run_chain(self, stage, tasks, recovered, emit):
+                    return sorted(os.listdir("."))
+            """
+        )
+        assert findings == []
+
+
+class TestSetIteration:
+    def test_local_set_iteration_flagged(self):
+        findings = check(
+            """\
+            class P(UoIPlan):
+                def run_chain(self, stage, tasks, recovered, emit):
+                    keys = {t.key for t in tasks}
+                    for key in keys:
+                        emit(key, None)
+            """
+        )
+        assert [f.rule for f in findings] == ["DET303"]
+
+    def test_sorted_set_iteration_clean(self):
+        findings = check(
+            """\
+            class P(UoIPlan):
+                def run_chain(self, stage, tasks, recovered, emit):
+                    keys = {t.key for t in tasks}
+                    for key in sorted(keys):
+                        emit(key, None)
+            """
+        )
+        assert findings == []
+
+
+class TestUnseededRng:
+    def test_unseeded_default_rng_flagged(self):
+        findings = check(
+            """\
+            import numpy as np
+
+            class P(UoIPlan):
+                def run_chain(self, stage, tasks, recovered, emit):
+                    return np.random.default_rng().normal()
+            """
+        )
+        assert [f.rule for f in findings] == ["DET304"]
+
+    def test_seeded_default_rng_clean(self):
+        findings = check(
+            """\
+            import numpy as np
+
+            class P(UoIPlan):
+                def run_chain(self, stage, tasks, recovered, emit):
+                    return np.random.default_rng(7).normal()
+            """
+        )
+        assert findings == []
+
+    def test_stdlib_random_flagged(self):
+        findings = check(
+            """\
+            import random
+
+            class P(UoIPlan):
+                def run_chain(self, stage, tasks, recovered, emit):
+                    return random.shuffle(tasks)
+            """
+        )
+        assert [f.rule for f in findings] == ["DET304"]
+
+
+class TestReachability:
+    def test_taint_crosses_helper_calls_with_path(self):
+        findings = check(
+            """\
+            import time
+
+            def helper():
+                return time.time()
+
+            class P(UoIPlan):
+                def run_chain(self, stage, tasks, recovered, emit):
+                    return self.solve()
+
+                def solve(self):
+                    return helper()
+            """
+        )
+        assert [f.rule for f in findings] == ["DET301"]
+        assert findings[0].context["path"] == [
+            "P.run_chain",
+            "P.solve",
+            "helper",
+        ]
+
+    def test_unreachable_code_untainted(self):
+        findings = check(
+            """\
+            import time
+
+            def helper():
+                return time.time()
+
+            class P(UoIPlan):
+                def run_chain(self, stage, tasks, recovered, emit):
+                    return None
+            """
+        )
+        assert findings == []
+
+    def test_suppression(self):
+        findings = check(
+            """\
+            import time
+
+            class P(UoIPlan):
+                def run_chain(self, stage, tasks, recovered, emit):
+                    return time.time()  # repro: ignore[DET301]
+            """
+        )
+        assert findings == []
+
+
+class TestSeededFixture:
+    def test_fixture_yields_exact_rules_and_lines(self):
+        findings = determinism_check_paths([FIXTURE])
+        assert [(f.rule, f.line) for f in findings] == [
+            ("DET301", 27),
+            ("DET302", 32),
+            ("DET304", 33),
+            ("DET303", 36),
+        ]
+        assert all(f.file == FIXTURE for f in findings)
+        # The reachability path names how each source is reached.
+        assert findings[0].context["path"] == ["TimedPlan.run_chain"]
+        assert findings[1].context["path"] == [
+            "TimedPlan.run_chain",
+            "TimedPlan._solve",
+        ]
+
+
+class TestRepoGate:
+    def test_installed_package_checks_clean(self):
+        # The acceptance gate: nothing reachable from any shipped
+        # plan's run_chain/reduce reads clocks, fs order, or entropy.
+        assert determinism_check_paths() == []

@@ -252,6 +252,107 @@ class TestSuppressions:
                     comm.barrier()  # repro: ignore[SPMD002]
             """
         )
+        # The real finding still fires, and the mismatched directive is
+        # itself reported stale (it suppressed nothing).
+        assert [f.rule for f in findings] == ["SPMD001", "SUP001"]
+
+
+class TestSuppressionEdgeCases:
+    def test_multi_rule_comma_list(self):
+        findings = lint(
+            """\
+            import numpy as np
+
+            def prog(comm):
+                if comm.rank == 0:
+                    comm.allreduce(np.random.rand(4))  # repro: ignore[SPMD001,SPMD002]
+            """
+        )
+        assert findings == []
+
+    def test_multi_rule_list_with_spaces(self):
+        findings = lint(
+            """\
+            def prog(comm):
+                if comm.rank == 0:
+                    comm.barrier()  # repro: ignore[SPMD002, SPMD001]
+            """
+        )
+        # SPMD001 matched; the unused SPMD002 half is reported stale.
+        assert [f.rule for f in findings] == ["SUP001"]
+        assert findings[0].context["suppressed_rule"] == "SPMD002"
+
+    def test_decorated_def_suppression(self):
+        findings = lint(
+            """\
+            import numpy as np
+
+            def deco(f):
+                return f
+
+            @deco
+            def draw():
+                return np.random.rand(4)  # repro: ignore[SPMD002]
+            """
+        )
+        assert findings == []
+
+    def test_stale_directive_reported_with_location(self):
+        findings = lint(
+            """\
+            def prog(comm):
+                comm.barrier()  # repro: ignore[SPMD001]
+            """
+        )
+        # An unconditional barrier is clean: the directive is dead.
+        assert [f.rule for f in findings] == ["SUP001"]
+        assert findings[0].line == 2
+        assert findings[0].severity == WARNING
+        assert "SPMD001" in findings[0].message
+
+    def test_stale_multi_rule_reports_each_rule(self):
+        findings = lint(
+            """\
+            def prog(comm):
+                if comm.rank == 0:
+                    comm.barrier()  # repro: ignore[SPMD002,SPMD003]
+            """
+        )
+        assert [f.rule for f in findings] == ["SPMD001", "SUP001", "SUP001"]
+        stale = sorted(f.context["suppressed_rule"] for f in findings[1:])
+        assert stale == ["SPMD002", "SPMD003"]
+
+    def test_bare_ignore_never_stale(self):
+        findings = lint(
+            """\
+            def prog(comm):
+                comm.barrier()  # repro: ignore
+            """
+        )
+        assert findings == []
+
+    def test_other_family_directive_not_this_pass_to_report(self):
+        # A SHAPE-family directive is the SHAPE pass's to account for:
+        # the SPMD linter must not call it stale.
+        findings = lint(
+            """\
+            def prog(comm):
+                comm.barrier()  # repro: ignore[SHAPE101]
+            """
+        )
+        assert findings == []
+
+    def test_directive_text_in_docstring_not_live(self):
+        # Tokenize-based comment detection: directive *text* quoted in
+        # a docstring is neither a live suppression nor a stale one.
+        findings = lint(
+            '''\
+            def prog(comm):
+                """Suppress with ``# repro: ignore[SPMD001]``."""
+                if comm.rank == 0:
+                    comm.allreduce(1.0)
+            '''
+        )
         assert [f.rule for f in findings] == ["SPMD001"]
 
 

@@ -135,3 +135,56 @@ class TestColumnwiseEquivalence:
     def test_shape_validation(self):
         with pytest.raises(ValueError, match="incompatible"):
             kron_lasso_columnwise(np.ones((4, 2)), np.ones((5, 2)), 1.0, lasso_cd)
+
+
+class TestDtypePreservation:
+    """Regression: float32 input must not silently upcast mid-pipeline.
+
+    The lifted design is ~p^3 the data size, so a silent float64
+    promotion doubles peak memory exactly where it hurts most.
+    """
+
+    def test_identity_kron_dense_preserves_float32(self):
+        X = np.ones((3, 2), dtype=np.float32)
+        assert identity_kron(X, 4, sparse=False).dtype == np.float32
+
+    def test_identity_kron_sparse_preserves_float32(self):
+        X = np.ones((3, 2), dtype=np.float32)
+        assert identity_kron(X, 4).dtype == np.float32
+
+    def test_identity_kron_defaults_to_float64(self):
+        assert identity_kron(np.ones((3, 2), dtype=np.int64), 2).dtype == np.float64
+        assert identity_kron(np.ones((3, 2)), 2, sparse=False).dtype == np.float64
+
+    def test_operator_matvec_and_rmatvec_preserve_float32(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((4, 3)).astype(np.float32)
+        op = IdentityKronOperator(X, 2)
+        assert op.X.dtype == np.float32
+        assert op.matvec(np.ones(6)).dtype == np.float32
+        assert op.rmatvec(np.ones(8)).dtype == np.float32
+        assert op.toarray().dtype == np.float32
+
+    def test_columnwise_preserves_float32(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((20, 3)).astype(np.float32)
+        Y = rng.standard_normal((20, 2)).astype(np.float32)
+        out = kron_lasso_columnwise(X, Y, 0.5, lasso_cd)
+        assert out.dtype == np.float32
+
+    def test_columnwise_mixed_dtypes_promote_to_float64(self):
+        rng = np.random.default_rng(2)
+        X = rng.standard_normal((20, 3)).astype(np.float32)
+        Y = rng.standard_normal((20, 2))
+        out = kron_lasso_columnwise(X, Y, 0.5, lasso_cd)
+        assert out.dtype == np.float64
+
+    def test_float32_matches_float64_solution(self):
+        rng = np.random.default_rng(3)
+        X = rng.standard_normal((25, 4))
+        Y = rng.standard_normal((25, 3))
+        full = kron_lasso_columnwise(X, Y, 1.0, lasso_cd)
+        single = kron_lasso_columnwise(
+            X.astype(np.float32), Y.astype(np.float32), 1.0, lasso_cd
+        )
+        np.testing.assert_allclose(single, full, atol=1e-3)
