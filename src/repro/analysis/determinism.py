@@ -60,12 +60,17 @@ __all__ = [
 #: Observational substrate never traversed or scanned: these packages
 #: read clocks and walk directories *by design* (telemetry, tracing,
 #: performance reporting, this very tooling) and feed nothing back
-#: into plan arithmetic.
+#: into plan arithmetic.  ``service`` is orchestration above the
+#: engine: its wall clocks, thread scheduling, socket I/O and Lamport
+#: timestamps order *jobs and replica writes*, never floats — every
+#: numeric result is produced by the member plans it wraps, which
+#: stay inside the taint pass.
 EXCLUDED_SUBPACKAGES: tuple[str, ...] = (
     "telemetry",
     "simmpi",
     "analysis",
     "perf",
+    "service",
 )
 
 #: Base class whose subclasses carry the determinism contract.

@@ -21,9 +21,19 @@ Subcommands
 ``engine [--kind K] [--n N] [--p P] [--machine M]``
     Execution-engine dry run: list the pluggable backends, then
     enumerate the subproblem plan a fit of the given shape would run —
-    chain/subproblem counts per stage, checkpoint-key patterns, and
-    the estimated floating-point cost (with modeled seconds on the
-    chosen machine) — without solving anything.
+    warm-start chain counts, per-chain subproblem counts
+    (run-length encoded as ``<chains>x<subproblems each>``),
+    checkpoint-key patterns, and the estimated floating-point cost
+    (with modeled seconds on the chosen machine) — without solving
+    anything.
+``serve [--demo N] [--workers W] [--max-batch B] [--no-batch] ...``
+    Run the multi-tenant UoI fitting service: a line-JSON socket
+    server multiplexing LASSO/VAR jobs over a bounded worker pool,
+    with optional replicated results store (``--store DIR``) and
+    telemetry manifest export (``--telemetry-dir DIR``).  ``--demo N``
+    instead boots an ephemeral server, drives N concurrent mixed jobs
+    through socket clients, and verifies every result is bitwise
+    identical to a direct fit (the CI acceptance mode).
 ``check [lint|shapes|determinism|plan|static|dynamic|all] ...``
     Correctness gate: the four static passes (SPMD lint, symbolic
     shape/memory interpretation, determinism taint, plan
@@ -162,6 +172,48 @@ def _build_parser() -> argparse.ArgumentParser:
         default="cori-knl",
         choices=sorted(_MACHINES),
         help="machine model used to convert FLOPs to modeled seconds",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the multi-tenant UoI fitting service"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="scheduler worker threads"
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=4,
+        help="max compatible jobs multiplexed into one shared engine run",
+    )
+    serve.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable cross-job batching (one engine run per job)",
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="root of the replicated results store (enables durability)",
+    )
+    serve.add_argument(
+        "--telemetry-dir",
+        default=None,
+        metavar="DIR",
+        help="export the service telemetry manifest here on exit",
+    )
+    serve.add_argument(
+        "--demo",
+        type=int,
+        default=None,
+        metavar="N",
+        help="acceptance mode: drive N concurrent mixed LASSO/VAR jobs "
+        "through socket clients and verify bitwise identity vs direct fits",
     )
 
     check = sub.add_parser(
@@ -304,6 +356,23 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if result.data["bitwise_identical"] else 1
 
 
+def _rle_chain_lengths(chains: list) -> str:
+    """Run-length encode per-chain subproblem counts.
+
+    ``"48x1"`` reads "48 warm-start chains of 1 subproblem each";
+    heterogeneous plans yield a comma list in chain order, e.g.
+    ``"3x12,1x4"``.
+    """
+    lengths = [len(chain) for chain in chains]
+    runs: list[tuple[int, int]] = []  # (chain count, subproblems per chain)
+    for length in lengths:
+        if runs and runs[-1][1] == length:
+            runs[-1] = (runs[-1][0] + 1, length)
+        else:
+            runs.append((1, length))
+    return ",".join(f"{count}x{length}" for count, length in runs)
+
+
 def _cmd_engine(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -336,11 +405,13 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         total = sum(flops.values())
         print(f"plan {info['kind']}  ({info['subproblems']} subproblems)")
         for stage, s in info["stages"].items():
-            first_key = plan.chains(stage)[0][0].key
+            chains = plan.chains(stage)
+            first_key = chains[0][0].key
             secs = flops[stage] / (machine.gemm_gflops * 1e9)
             print(
                 f"  {stage:<10} chains={s['chains']:<3} "
                 f"subproblems={s['subproblems']:<4} "
+                f"per-chain={_rle_chain_lengths(chains):<8} "
                 f"keys={first_key},...  "
                 f"~{flops[stage] / 1e9:.3f} GFLOP"
                 f" (~{secs:.3g}s modeled on {machine.name})"
@@ -388,6 +459,63 @@ def _summarize_manifest(path: str) -> None:
         width = max(len(k) for k in counters)
         for name in sorted(counters):
             print(f"  {name:<{width}}  {counters[name]:.6g}")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import Service, ServiceServer, run_demo
+
+    if args.demo is not None:
+        summary = run_demo(
+            args.demo,
+            workers=args.workers,
+            batching=not args.no_batch,
+            max_batch=args.max_batch,
+            store_root=args.store,
+            telemetry_dir=args.telemetry_dir,
+        )
+        print(
+            f"demo: {summary['done']}/{summary['jobs']} jobs done, "
+            f"bitwise identical to direct fits: {summary['identical']}"
+        )
+        for row in summary["per_job"]:
+            if "error" in row:
+                print(f"  {row['kind']:<5} ERROR {row['error']}")
+            else:
+                print(
+                    f"  {row['job_id']:<4} {row['kind']:<5} "
+                    f"state={row['state']:<9} events={row['events']:<3} "
+                    f"identical={row['identical']}"
+                )
+        if summary["manifest"]:
+            print(f"manifest: {summary['manifest']}")
+        ok = summary["done"] == summary["jobs"] and summary["identical"]
+        return 0 if ok else 1
+
+    service = Service(
+        workers=args.workers,
+        batching=not args.no_batch,
+        max_batch=args.max_batch,
+        store_root=args.store,
+    )
+    with service, ServiceServer(service, args.host, args.port) as server:
+        host, port = server.address
+        print(f"repro service listening on {host}:{port}")
+        print("protocol: one JSON line per request; ops: submit, status, "
+              "jobs, results, cancel, stream, ping")
+        try:
+            while True:
+                import time as _time
+
+                _time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down")
+        finally:
+            if args.telemetry_dir is not None:
+                path = service.export_manifest(
+                    f"{args.telemetry_dir}/service_manifest.jsonl"
+                )
+                print(f"manifest: {path}")
+    return 0
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -547,6 +675,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_machine(args.name)
     if args.command == "engine":
         return _cmd_engine(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "check":
         return _cmd_check(args)
     if args.command == "trace":

@@ -1,0 +1,81 @@
+"""repro.service — multi-tenant UoI fitting as a service.
+
+The service turns the engine's plan/executor split into a shared
+facility: clients submit typed :class:`~repro.service.jobs.JobSpec`
+fit requests (LASSO or VAR, any engine backend); admission builds and
+verifies the exact plan a direct estimator fit would run; a
+fair-share scheduler multiplexes jobs over a bounded worker pool and
+batches compatible jobs into shared engine runs
+(:class:`~repro.service.batch.BatchPlan`) without changing a single
+bit of any result; and a replicated, idempotent results store
+(:class:`~repro.service.store.ReplicatedResultsStore`) makes finished
+subproblems durable across service restarts.
+
+Transports: the in-process :class:`~repro.service.service.ServiceClient`
+and the line-JSON socket pair
+:class:`~repro.service.server.ServiceServer` /
+:class:`~repro.service.server.SocketServiceClient` (``repro serve``).
+
+See ``docs/service.md`` for the architecture and guarantees.
+"""
+
+from repro.service.batch import MEMBER_SEP, BatchPlan
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_KINDS,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    AdmissionError,
+    Job,
+    JobCancelled,
+    JobSpec,
+    UnknownJobError,
+    outputs_to_arrays,
+)
+from repro.service.scheduler import JobBatchHook, Scheduler
+from repro.service.server import (
+    ServiceServer,
+    SocketServiceClient,
+    run_demo,
+)
+from repro.service.service import Service, ServiceClient
+from repro.service.store import (
+    LamportClock,
+    ReplicaNode,
+    ReplicatedResultsStore,
+    WriteOp,
+    parse_op_id,
+)
+
+__all__ = [
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "TERMINAL_STATES",
+    "JOB_KINDS",
+    "MEMBER_SEP",
+    "AdmissionError",
+    "BatchPlan",
+    "Job",
+    "JobBatchHook",
+    "JobCancelled",
+    "JobSpec",
+    "LamportClock",
+    "ReplicaNode",
+    "ReplicatedResultsStore",
+    "Scheduler",
+    "Service",
+    "ServiceClient",
+    "ServiceServer",
+    "SocketServiceClient",
+    "UnknownJobError",
+    "WriteOp",
+    "outputs_to_arrays",
+    "parse_op_id",
+    "run_demo",
+]

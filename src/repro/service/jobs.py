@@ -1,0 +1,261 @@
+"""Typed fit requests and their lifecycle state.
+
+A :class:`JobSpec` is the service's admission currency: which
+estimator family (``"lasso"`` / ``"var"``), the data arrays, the
+config bundle, the engine backend, and multi-tenant bookkeeping
+(tenant for fair-share ordering, an optional client-supplied
+idempotency key for duplicate-suppressed submits).  ``build_plan``
+turns it into the exact :class:`~repro.engine.plans.LassoPlan` /
+:class:`~repro.engine.plans.VarPlan` the direct estimators construct,
+which is why service results are bitwise identical to
+``UoILasso.fit`` / ``UoIVar.fit``.
+
+A :class:`Job` tracks one admitted spec through the lifecycle
+``queued -> running -> done | failed | cancelled``, with per-stage
+progress counters and an append-only snapshot list fed by the
+scheduler's engine hook (that is what ``stream_progress`` replays).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.config import UoILassoConfig, UoIVarConfig
+from repro.engine.plan import UoIPlan
+
+__all__ = [
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "TERMINAL_STATES",
+    "JOB_KINDS",
+    "JobCancelled",
+    "AdmissionError",
+    "UnknownJobError",
+    "JobSpec",
+    "Job",
+    "outputs_to_arrays",
+]
+
+#: Lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+#: Admissible estimator families.
+JOB_KINDS = ("lasso", "var")
+
+
+class JobCancelled(RuntimeError):
+    """Raised inside a solo run to abort it, and by ``results`` of a
+    cancelled job."""
+
+
+class AdmissionError(ValueError):
+    """A submit was rejected (bad spec, or ``verify_plan`` findings)."""
+
+    def __init__(self, message: str, findings: list | None = None) -> None:
+        super().__init__(message)
+        self.findings = list(findings) if findings else []
+
+
+class UnknownJobError(KeyError):
+    """The job id is not (or no longer) registered with the service."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One fit request.
+
+    Attributes
+    ----------
+    kind:
+        ``"lasso"`` (needs ``data["X"]``, ``data["y"]``) or ``"var"``
+        (needs ``data["series"]``).
+    data:
+        The input arrays, by name.
+    config:
+        :class:`UoILassoConfig` / :class:`UoIVarConfig`; ``None`` uses
+        the family's defaults.
+    backend:
+        Engine backend name (see :data:`repro.engine.BACKENDS`).
+    tenant:
+        Fair-share accounting bucket.
+    idempotency_key:
+        Client-supplied dedup token: a second submit with the same key
+        returns the original job id, and store records are keyed by it
+        so a restarted service resumes the job's completed subproblems.
+    label:
+        Free-form display label.
+    """
+
+    kind: str
+    data: Mapping[str, np.ndarray]
+    config: Any = None
+    backend: str = "serial"
+    tenant: str = "default"
+    idempotency_key: str | None = None
+    label: str | None = None
+
+    def validate(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise AdmissionError(
+                f"unknown job kind {self.kind!r}; choose from {JOB_KINDS}"
+            )
+        needed = ("X", "y") if self.kind == "lasso" else ("series",)
+        missing = [name for name in needed if name not in self.data]
+        if missing:
+            raise AdmissionError(
+                f"{self.kind} job is missing data array(s) {missing}"
+            )
+
+    def build_plan(self) -> UoIPlan:
+        """The exact engine plan a direct estimator fit would run."""
+        self.validate()
+        from repro.engine.plans import LassoPlan, VarPlan
+
+        try:
+            if self.kind == "lasso":
+                config = self.config or UoILassoConfig()
+                return LassoPlan(
+                    config,
+                    np.asarray(self.data["X"]),
+                    np.asarray(self.data["y"]),
+                )
+            config = self.config or UoIVarConfig()
+            return VarPlan(config, np.asarray(self.data["series"]))
+        except AdmissionError:
+            raise
+        except (ValueError, TypeError) as exc:
+            raise AdmissionError(f"invalid {self.kind} job: {exc}") from exc
+
+    def compat_key(self) -> tuple:
+        """Batching compatibility: family + backend + data shapes.
+
+        Jobs sharing a compat key may ride one shared engine run; the
+        result attribution (and the numerics) never depend on *what*
+        is batched, only the orchestration overhead does.
+        """
+        shapes = tuple(
+            (name, tuple(np.shape(self.data[name])))
+            for name in sorted(self.data)
+        )
+        return (self.kind, self.backend, shapes)
+
+
+def outputs_to_arrays(outputs: Any) -> dict[str, np.ndarray]:
+    """Flatten a :class:`~repro.engine.plan.PlanOutputs` to named arrays."""
+    out = {
+        "coef": np.asarray(outputs.coef),
+        "supports": np.asarray(outputs.supports),
+        "losses": np.asarray(outputs.losses),
+        "winners": np.asarray(outputs.winners),
+        "lambdas": np.asarray(outputs.lambdas),
+    }
+    for name, value in getattr(outputs, "extra", {}).items():
+        out[f"extra_{name}"] = np.asarray(value)
+    return out
+
+
+@dataclass
+class Job:
+    """One admitted request moving through the lifecycle.
+
+    All mutable fields are guarded by ``cond`` (scheduler writes,
+    clients read/wait); ``done_event`` additionally latches terminal
+    states for cheap blocking waits, and ``cancel_event`` is the
+    cooperative cancellation signal a running solo job polls at every
+    subproblem boundary.
+    """
+
+    id: str
+    spec: JobSpec
+    plan: UoIPlan
+    seq: int
+    state: str = QUEUED
+    error: str | None = None
+    result: Any = None
+    batch_size: int = 1
+    #: stage -> [done, total] counters.
+    progress: dict[str, list[int]] = field(default_factory=dict)
+    #: Append-only progress snapshots (what ``stream_progress`` replays).
+    snapshots: list[dict] = field(default_factory=list)
+    enqueued_at: float | None = None
+    started_at: float | None = None
+    finished_at: float | None = None
+    cond: threading.Condition = field(default_factory=threading.Condition)
+    done_event: threading.Event = field(default_factory=threading.Event)
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+
+    def __post_init__(self) -> None:
+        desc = self.plan.describe()
+        self.progress = {
+            stage: [0, info["subproblems"]]
+            for stage, info in desc["stages"].items()
+        }
+
+    @property
+    def store_key(self) -> str:
+        """Results-store key prefix: stable across resubmits when the
+        client supplied an idempotency key."""
+        return self.spec.idempotency_key or self.id
+
+    def note_subproblem(self, stage: str, *, recovered: bool) -> None:
+        """Record one completed subproblem (scheduler hook path)."""
+        with self.cond:
+            counters = self.progress.setdefault(stage, [0, 0])
+            counters[0] += 1
+            self.snapshots.append(
+                {
+                    "job": self.id,
+                    "stage": stage,
+                    "done": counters[0],
+                    "total": counters[1],
+                    "recovered": bool(recovered),
+                }
+            )
+            self.cond.notify_all()
+
+    def finish(
+        self, state: str, *, result: Any = None, error: str | None = None
+    ) -> None:
+        """Transition to a terminal state and wake every waiter."""
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"finish() needs a terminal state, got {state!r}")
+        with self.cond:
+            self.state = state
+            self.result = result
+            self.error = error
+            self.cond.notify_all()
+        self.done_event.set()
+
+    def status(self) -> dict:
+        """JSON-serializable status view."""
+        with self.cond:
+            return {
+                "id": self.id,
+                "state": self.state,
+                "kind": self.spec.kind,
+                "backend": self.spec.backend,
+                "tenant": self.spec.tenant,
+                "label": self.spec.label,
+                "idempotency_key": self.spec.idempotency_key,
+                "batch_size": self.batch_size,
+                "progress": {
+                    stage: {"done": done, "total": total}
+                    for stage, (done, total) in self.progress.items()
+                },
+                "error": self.error,
+                "enqueued_at": self.enqueued_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+            }

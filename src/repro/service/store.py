@@ -1,0 +1,452 @@
+"""Replicated, idempotent results store for the UoI service.
+
+The service's durable half: fit results and per-subproblem payloads
+land in a :class:`ReplicatedResultsStore` — a set of *shards* (keys
+hash-partitioned) each held by ``replication`` :class:`ReplicaNode`
+peers, every peer backed by one atomic checksummed
+:class:`~repro.resilience.checkpoint.CheckpointStore`.  The
+replication protocol follows the distributed-database exemplar in
+SNIPPETS.md (multi-leader LWW with logical clocks):
+
+* **op_id** — every replicated write carries a unique identifier
+  ``"<node>:<seq>"`` minted by the originating node from a local
+  monotone sequence.
+* **Version vectors** — each node keeps ``last_seen``, the highest
+  counter applied per origin (plus an internal gap set so deliveries
+  reordered *within* one origin are still each applied exactly once).
+  An op whose counter was already applied is ignored, which makes
+  :meth:`ReplicaNode.apply` **idempotent**: replaying a write stream —
+  duplicates, reorderings and all — onto a fresh node reconstructs
+  identical state.
+* **LWW by Lamport clock** — nodes stamp writes from a
+  :class:`LamportClock`; a key's visible value is the op with the
+  largest ``(timestamp, origin)`` pair, a total order, so conflict
+  resolution is deterministic and order-independent.  Deletions
+  propagate as *tombstones* (ops with no arrays) under the same rule.
+
+Replica state (version vector, per-key winner index, clock) persists
+in a ``REPLICA.json`` sidecar written with the same atomic
+write-rename protocol as the checkpoint manifest, so a crashed node
+reopens exactly where it stopped — this is what crash-safe job resume
+in :mod:`repro.service.scheduler` leans on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.resilience.checkpoint import CheckpointStore
+
+__all__ = [
+    "LamportClock",
+    "WriteOp",
+    "ReplicaNode",
+    "ReplicatedResultsStore",
+    "parse_op_id",
+]
+
+REPLICA_STATE_NAME = "REPLICA.json"
+TOPOLOGY_NAME = "STORE.json"
+STATE_FORMAT = 1
+
+
+def parse_op_id(op_id: str) -> tuple[str, int]:
+    """Split ``"<node>:<seq>"`` into its origin and counter."""
+    origin, sep, seq = op_id.rpartition(":")
+    if not sep or not origin:
+        raise ValueError(f"malformed op_id {op_id!r} (expected '<node>:<seq>')")
+    return origin, int(seq)
+
+
+class LamportClock:
+    """Logical clock: ``tick`` for local events, ``observe`` on receive."""
+
+    def __init__(self, time: int = 0) -> None:
+        self._time = int(time)
+        self._lock = threading.Lock()
+
+    @property
+    def time(self) -> int:
+        with self._lock:
+            return self._time
+
+    def tick(self) -> int:
+        """Advance for a local event; returns the new timestamp."""
+        with self._lock:
+            self._time += 1
+            return self._time
+
+    def observe(self, ts: int) -> int:
+        """Merge a remote timestamp (``max`` rule); returns the clock."""
+        with self._lock:
+            self._time = max(self._time, int(ts))
+            return self._time
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """One replicated write (``arrays=None`` is a delete tombstone)."""
+
+    op_id: str
+    key: str
+    ts: int
+    arrays: dict[str, np.ndarray] | None = field(repr=False, default=None)
+
+    @property
+    def origin(self) -> str:
+        return parse_op_id(self.op_id)[0]
+
+    @property
+    def seq(self) -> int:
+        return parse_op_id(self.op_id)[1]
+
+
+def _digest_arrays(arrays: Mapping[str, np.ndarray]) -> str:
+    """Stable content hash of a record's arrays (name/dtype/shape/bytes)."""
+    h = hashlib.sha256()
+    for name in sorted(arrays):
+        a = np.ascontiguousarray(arrays[name])
+        h.update(name.encode())
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+class ReplicaNode:
+    """One replica: a CheckpointStore plus the replication metadata.
+
+    All mutations are serialized by an internal lock (worker threads of
+    the service share the nodes), and every applied op atomically
+    rewrites the ``REPLICA.json`` sidecar, so reopening the directory
+    resumes with the same version vector and winner index.
+    """
+
+    def __init__(self, root: str | os.PathLike, name: str) -> None:
+        self.name = name
+        self.root = Path(root)
+        self.store = CheckpointStore(self.root)
+        self._lock = threading.RLock()
+        #: applied ops in arrival order (the node's write stream).
+        self.log: list[WriteOp] = []
+        self._next_seq = 1
+        self._last_seen: dict[str, int] = {}
+        self._missing: dict[str, set[int]] = {}
+        #: key -> winning op metadata {"ts", "origin", "seq", "deleted"}.
+        self._index: dict[str, dict] = {}
+        self.clock = LamportClock()
+        state_path = self.root / REPLICA_STATE_NAME
+        if state_path.exists():
+            with open(state_path, "r", encoding="utf-8") as fh:
+                state = json.load(fh)
+            if state.get("format") != STATE_FORMAT:
+                raise ValueError(
+                    f"unsupported replica state format "
+                    f"{state.get('format')!r} in {state_path}"
+                )
+            self._next_seq = int(state["next_seq"])
+            self._last_seen = {k: int(v) for k, v in state["last_seen"].items()}
+            self._missing = {
+                k: set(int(s) for s in v) for k, v in state["missing"].items()
+            }
+            self._index = dict(state["index"])
+            self.clock = LamportClock(int(state["clock"]))
+
+    # ------------------------------------------------------------ state
+    def _save_state(self) -> None:
+        state = {
+            "format": STATE_FORMAT,
+            "name": self.name,
+            "next_seq": self._next_seq,
+            "clock": self.clock.time,
+            "last_seen": dict(sorted(self._last_seen.items())),
+            "missing": {
+                k: sorted(v) for k, v in sorted(self._missing.items()) if v
+            },
+            "index": {k: self._index[k] for k in sorted(self._index)},
+        }
+        tmp = self.root / (REPLICA_STATE_NAME + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(state, fh, indent=1, sort_keys=True)
+        os.replace(tmp, self.root / REPLICA_STATE_NAME)
+
+    @property
+    def last_seen(self) -> dict[str, int]:
+        """The version vector: highest counter applied per origin."""
+        with self._lock:
+            return dict(self._last_seen)
+
+    def _applied(self, origin: str, seq: int) -> bool:
+        watermark = self._last_seen.get(origin, 0)
+        if seq > watermark:
+            return False
+        return seq not in self._missing.get(origin, ())
+
+    def _mark_applied(self, origin: str, seq: int) -> None:
+        watermark = self._last_seen.get(origin, 0)
+        if seq > watermark:
+            if seq > watermark + 1:
+                self._missing.setdefault(origin, set()).update(
+                    range(watermark + 1, seq)
+                )
+            self._last_seen[origin] = seq
+        else:
+            gaps = self._missing.get(origin)
+            if gaps is not None:
+                gaps.discard(seq)
+                if not gaps:
+                    del self._missing[origin]
+
+    # ------------------------------------------------------------ writes
+    def local_write(
+        self, key: str, arrays: dict[str, np.ndarray] | None
+    ) -> WriteOp:
+        """Originate a write (or a tombstone) on this node; returns the op.
+
+        The returned op is what peers :meth:`apply`; applying it again
+        anywhere — including here — is a suppressed duplicate.
+        """
+        with self._lock:
+            ts = self.clock.tick()
+            seq = self._next_seq
+            self._next_seq += 1
+            op = WriteOp(f"{self.name}:{seq}", key, ts, arrays)
+            self.apply(op)
+            return op
+
+    def apply(self, op: WriteOp) -> bool:
+        """Apply one replicated op; returns False for duplicates.
+
+        Idempotency: the ``(origin, seq)`` of ``op.op_id`` is checked
+        against the version vector first — an already-applied op is
+        ignored.  Visibility: the op wins its key iff its
+        ``(ts, origin)`` exceeds the current winner's (LWW).
+        """
+        origin, seq = parse_op_id(op.op_id)
+        with self._lock:
+            if self._applied(origin, seq):
+                return False
+            self._mark_applied(origin, seq)
+            self.clock.observe(op.ts)
+            self.log.append(op)
+            cur = self._index.get(op.key)
+            if cur is None or (op.ts, origin) > (cur["ts"], cur["origin"]):
+                deleted = op.arrays is None
+                if not deleted:
+                    self.store.save(op.key, op.arrays)
+                self._index[op.key] = {
+                    "ts": op.ts,
+                    "origin": origin,
+                    "seq": seq,
+                    "deleted": deleted,
+                }
+            self._save_state()
+            return True
+
+    # ------------------------------------------------------------- reads
+    def get(self, key: str) -> dict[str, np.ndarray] | None:
+        """The key's visible arrays, or None (absent / tombstoned)."""
+        with self._lock:
+            entry = self._index.get(key)
+            if entry is None or entry["deleted"]:
+                return None
+            return self.store.load(key)
+
+    def keys(self) -> list[str]:
+        """Visible (non-tombstoned) keys, sorted."""
+        with self._lock:
+            return sorted(
+                k for k, e in self._index.items() if not e["deleted"]
+            )
+
+    def state_digest(self) -> str:
+        """Content hash of the node's replicated state.
+
+        Covers the version vector, the per-key winner metadata and the
+        winning array bytes — everything replication is responsible
+        for — and deliberately *not* the op log, whose order is
+        delivery-dependent.  Two nodes converged iff digests match.
+        """
+        with self._lock:
+            h = hashlib.sha256()
+            h.update(
+                json.dumps(
+                    {
+                        "last_seen": dict(sorted(self._last_seen.items())),
+                        "missing": {
+                            k: sorted(v)
+                            for k, v in sorted(self._missing.items())
+                            if v
+                        },
+                        "index": {k: self._index[k] for k in sorted(self._index)},
+                    },
+                    sort_keys=True,
+                ).encode()
+            )
+            for key in sorted(self._index):
+                if not self._index[key]["deleted"]:
+                    h.update(_digest_arrays(self.store.load(key)).encode())
+            return h.hexdigest()
+
+
+class ReplicatedResultsStore:
+    """Sharded, replicated, idempotent store of named array records.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the shard/replica tree (created if missing;
+        reopening an existing root must match its pinned topology).
+    nshards:
+        Number of key-hash partitions.
+    replication:
+        Replica nodes per shard; every write is applied to all of them.
+
+    Writes originate on a shard's primary (replica 0), which mints the
+    ``op_id``, and fan out to the peers via :meth:`ReplicaNode.apply`.
+    Reads try the primary first and fall back to peers, so a wiped
+    replica degrades reads to its siblings instead of failing them.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        nshards: int = 2,
+        replication: int = 2,
+    ) -> None:
+        if nshards < 1:
+            raise ValueError(f"nshards must be >= 1, got {nshards}")
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        topo_path = self.root / TOPOLOGY_NAME
+        topo = {"format": STATE_FORMAT, "nshards": nshards, "replication": replication}
+        if topo_path.exists():
+            with open(topo_path, "r", encoding="utf-8") as fh:
+                existing = json.load(fh)
+            if existing != topo:
+                raise ValueError(
+                    f"store {self.root} has topology {existing!r}, "
+                    f"reopened with {topo!r}: resharding is not supported"
+                )
+        else:
+            tmp = self.root / (TOPOLOGY_NAME + ".tmp")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(topo, fh, indent=1, sort_keys=True)
+            os.replace(tmp, topo_path)
+        self.nshards = nshards
+        self.replication = replication
+        self.nodes: list[list[ReplicaNode]] = [
+            [
+                ReplicaNode(
+                    self.root / f"shard{s}" / f"replica{r}", name=f"s{s}r{r}"
+                )
+                for r in range(replication)
+            ]
+            for s in range(nshards)
+        ]
+
+    # ---------------------------------------------------------- routing
+    def shard_of(self, key: str) -> int:
+        """Stable hash partition of ``key`` (sha1, not PYTHONHASHSEED)."""
+        digest = hashlib.sha1(key.encode()).digest()
+        return int.from_bytes(digest[:8], "big") % self.nshards
+
+    def replicas(self, key: str) -> list[ReplicaNode]:
+        return self.nodes[self.shard_of(key)]
+
+    # ------------------------------------------------------------ writes
+    def put(self, key: str, arrays: dict[str, np.ndarray]) -> str:
+        """Replicated write; returns the op's ``op_id``."""
+        if arrays is None:
+            raise ValueError("put() needs arrays; use delete() for tombstones")
+        replicas = self.replicas(key)
+        op = replicas[0].local_write(key, dict(arrays))
+        for peer in replicas[1:]:
+            peer.apply(op)
+        return op.op_id
+
+    def delete(self, key: str) -> str:
+        """Replicated tombstone; returns the op's ``op_id``."""
+        replicas = self.replicas(key)
+        op = replicas[0].local_write(key, None)
+        for peer in replicas[1:]:
+            peer.apply(op)
+        return op.op_id
+
+    # ------------------------------------------------------------- reads
+    def get(self, key: str) -> dict[str, np.ndarray] | None:
+        for node in self.replicas(key):
+            value = node.get(key)
+            if value is not None:
+                return value
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def keys(self) -> list[str]:
+        out: set[str] = set()
+        for shard in self.nodes:
+            out.update(shard[0].keys())
+        return sorted(out)
+
+    # ------------------------------------------------------ replication
+    def write_stream(self, shard: int | None = None) -> list[WriteOp]:
+        """The applied-op stream of each shard's primary.
+
+        This is what anti-entropy would ship to a recovering peer;
+        :meth:`replay` consumes it.  ``shard=None`` concatenates every
+        shard's stream.
+        """
+        shards = range(self.nshards) if shard is None else (shard,)
+        out: list[WriteOp] = []
+        for s in shards:
+            with self.nodes[s][0]._lock:
+                out.extend(self.nodes[s][0].log)
+        return out
+
+    def replay(self, ops: Iterable[WriteOp]) -> int:
+        """Apply a write stream to every replica of each op's shard.
+
+        Duplicates are suppressed by the version vectors and conflicts
+        resolve LWW, so replaying a stream — in any order, any number
+        of times — onto a fresh store with the same topology
+        reconstructs identical state (see :meth:`state_digest`).
+        Returns the number of ops newly applied on the primaries.
+        """
+        applied = 0
+        for op in ops:
+            replicas = self.replicas(op.key)
+            if replicas[0].apply(op):
+                applied += 1
+            for peer in replicas[1:]:
+                peer.apply(op)
+        return applied
+
+    def state_digest(self) -> str:
+        """Combined content hash over every replica (topology-ordered)."""
+        h = hashlib.sha256()
+        for shard in self.nodes:
+            for node in shard:
+                h.update(node.name.encode())
+                h.update(node.state_digest().encode())
+        return h.hexdigest()
+
+    def converged(self) -> bool:
+        """True iff every shard's replicas carry identical state."""
+        for shard in self.nodes:
+            digests = {node.state_digest() for node in shard}
+            if len(digests) > 1:
+                return False
+        return True

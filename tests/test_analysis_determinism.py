@@ -242,3 +242,43 @@ class TestRepoGate:
         # The acceptance gate: nothing reachable from any shipped
         # plan's run_chain/reduce reads clocks, fs order, or entropy.
         assert determinism_check_paths() == []
+
+
+class TestExclusionList:
+    def test_excluded_subpackages_exactly(self):
+        """The DET exclusion list is a reviewed contract — a new entry
+        must update this test (and docs/static-analysis.md) with the
+        rationale for why the package can never taint plan arithmetic."""
+        from repro.analysis.determinism import EXCLUDED_SUBPACKAGES
+
+        assert EXCLUDED_SUBPACKAGES == (
+            "telemetry",
+            "simmpi",
+            "analysis",
+            "perf",
+            "service",
+        )
+
+    def test_service_modules_are_excluded(self):
+        """repro.service uses wall clocks, threads and sockets by design
+        (job ordering, Lamport stamps); the taint pass must skip it."""
+        import glob
+        import os
+
+        service_dir = os.path.join(
+            os.path.dirname(__file__), "..", "src", "repro", "service"
+        )
+        paths = sorted(glob.glob(os.path.join(service_dir, "*.py")))
+        assert paths, "service package not found"
+        assert determinism_check_paths(paths) == []
+
+    def test_default_paths_skip_excluded_packages(self):
+        from repro.analysis.determinism import (
+            EXCLUDED_SUBPACKAGES,
+            default_determinism_paths,
+        )
+
+        sep = os.sep
+        for path in default_determinism_paths():
+            for sub in EXCLUDED_SUBPACKAGES:
+                assert f"{sep}{sub}{sep}" not in path

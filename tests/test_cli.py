@@ -87,6 +87,50 @@ class TestEngine:
         with pytest.raises(SystemExit):
             main(["engine", "--machine", "cray-1"])
 
+    def test_dry_run_prints_chain_counts_and_per_chain_subproblems(
+        self, capsys
+    ):
+        assert main(["engine", "--kind", "lasso", "--n", "32", "--p", "8"]) == 0
+        out = capsys.readouterr().out
+        # Default config: B1 = B2 = 48 warm-start chains of one
+        # subproblem each, run-length encoded as <chains>x<per-chain>.
+        assert "chains=48" in out
+        assert "per-chain=48x1" in out
+
+    def test_rle_chain_lengths(self):
+        from repro.cli import _rle_chain_lengths
+
+        assert _rle_chain_lengths([[1], [1], [1]]) == "3x1"
+        assert _rle_chain_lengths([[1, 2], [1, 2], [1]]) == "2x2,1x1"
+        assert _rle_chain_lengths([[1], [1, 2], [1]]) == "1x1,1x2,1x1"
+
+
+class TestServe:
+    def test_demo_drives_concurrent_jobs_bitwise(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--demo",
+                    "2",
+                    "--workers",
+                    "2",
+                    "--telemetry-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2/2 jobs done" in out
+        assert "bitwise identical to direct fits: True" in out
+        assert "manifest" in out
+        assert (tmp_path / "service_manifest.jsonl").exists()
+
+    def test_demo_without_batching(self, capsys):
+        assert main(["serve", "--demo", "2", "--no-batch"]) == 0
+        assert "bitwise identical to direct fits: True" in capsys.readouterr().out
+
 
 class TestTrace:
     @pytest.fixture(scope="class")

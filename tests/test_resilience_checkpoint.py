@@ -226,3 +226,70 @@ class TestSerialResume:
         assert resumed.losses_.tobytes() == plain.losses_.tobytes()
         for a, b in zip(resumed.coefs_, plain.coefs_):
             assert a.tobytes() == b.tobytes()
+
+
+class TestCheckpointStoreConcurrency:
+    def test_racing_writers_never_leave_a_torn_entry(self, store):
+        """Two writers race the same key behind a barrier: the surviving
+        record must be exactly one writer's full payload — named arrays
+        from different writers never interleave — and its manifest
+        checksum must verify (a torn write would fail ``load``)."""
+        import threading
+
+        payloads = {
+            tid: {
+                "coef": np.full(64, float(tid)),
+                "tag": np.array([tid], dtype=np.int64),
+            }
+            for tid in (1, 2)
+        }
+        errors = []
+        for round_no in range(10):
+            key = f"raced/k{round_no}"
+            barrier = threading.Barrier(2)
+
+            def write(tid, key=key, barrier=barrier):
+                try:
+                    barrier.wait(5.0)
+                    store.save(key, payloads[tid])
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=write, args=(tid,)) for tid in (1, 2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            got = store.load(key)  # checksum-verified read
+            assert got is not None
+            winner = int(got["tag"][0])
+            assert winner in (1, 2)
+            np.testing.assert_array_equal(
+                got["coef"], payloads[winner]["coef"]
+            )
+
+    def test_reopen_after_racing_writers_is_consistent(self, tmp_path):
+        import threading
+
+        store = CheckpointStore(tmp_path / "race")
+        barrier = threading.Barrier(4)
+
+        def write(tid):
+            barrier.wait(5.0)
+            for i in range(8):
+                store.save(f"t{tid}/k{i}", {"x": np.full(8, float(tid))})
+
+        threads = [
+            threading.Thread(target=write, args=(tid,)) for tid in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        reopened = CheckpointStore(tmp_path / "race")
+        assert len(reopened.keys()) == 32
+        for key in reopened.keys():
+            assert reopened.load(key) is not None

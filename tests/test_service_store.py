@@ -1,0 +1,257 @@
+"""Tests for the replicated, idempotent results store."""
+
+import json
+import random
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service.store import (
+    LamportClock,
+    ReplicaNode,
+    ReplicatedResultsStore,
+    WriteOp,
+    parse_op_id,
+)
+
+
+def arrays(seed: int) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return {"coef": rng.normal(size=7), "mask": rng.integers(0, 2, size=7)}
+
+
+class TestOpIds:
+    def test_roundtrip(self):
+        assert parse_op_id("s0r1:17") == ("s0r1", 17)
+
+    def test_origin_may_contain_colons(self):
+        assert parse_op_id("node:a:3") == ("node:a", 3)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            parse_op_id("no-separator")
+
+    def test_writeop_properties(self):
+        op = WriteOp("n1:4", "k", 9, {"x": np.zeros(2)})
+        assert op.origin == "n1"
+        assert op.seq == 4
+
+
+class TestLamportClock:
+    def test_tick_monotone(self):
+        clock = LamportClock()
+        assert [clock.tick() for _ in range(3)] == [1, 2, 3]
+
+    def test_observe_merges_max(self):
+        clock = LamportClock()
+        clock.tick()
+        assert clock.observe(10) == 10
+        assert clock.observe(4) == 10  # never goes backwards
+        assert clock.tick() == 11
+
+
+class TestReplicaNode:
+    def test_local_write_roundtrip_bitwise(self, tmp_path):
+        node = ReplicaNode(tmp_path / "n", "n")
+        payload = arrays(0)
+        op = node.local_write("k", payload)
+        assert op.op_id == "n:1"
+        got = node.get("k")
+        assert set(got) == set(payload)
+        for name in payload:
+            assert np.array_equal(got[name], payload[name])
+
+    def test_duplicate_apply_suppressed(self, tmp_path):
+        a = ReplicaNode(tmp_path / "a", "a")
+        b = ReplicaNode(tmp_path / "b", "b")
+        op = a.local_write("k", arrays(1))
+        assert b.apply(op) is True
+        assert b.apply(op) is False  # duplicate delivery
+        assert a.apply(op) is False  # echo back to the origin
+        assert len(b.log) == 1
+        assert b.last_seen == {"a": 1}
+
+    def test_reordered_delivery_within_origin(self, tmp_path):
+        a = ReplicaNode(tmp_path / "a", "a")
+        b = ReplicaNode(tmp_path / "b", "b")
+        ops = [a.local_write(f"k{i}", arrays(i)) for i in range(4)]
+        # Deliver out of order; each op still applies exactly once.
+        for op in [ops[3], ops[0], ops[2], ops[1]]:
+            assert b.apply(op) is True
+        for op in ops:
+            assert b.apply(op) is False
+        assert b.last_seen == {"a": 4}
+        assert a.state_digest() == b.state_digest()
+
+    def test_lww_resolves_by_timestamp_then_origin(self, tmp_path):
+        a = ReplicaNode(tmp_path / "a", "a")
+        b = ReplicaNode(tmp_path / "b", "b")
+        older = WriteOp("x:1", "k", 5, arrays(1))
+        newer = WriteOp("y:1", "k", 9, arrays(2))
+        # Delivery order differs; the winner does not.
+        a.apply(older)
+        a.apply(newer)
+        b.apply(newer)
+        b.apply(older)
+        for node in (a, b):
+            got = node.get("k")
+            assert np.array_equal(got["coef"], arrays(2)["coef"])
+        assert a.state_digest() == b.state_digest()
+
+    def test_lww_tie_breaks_by_origin(self, tmp_path):
+        node = ReplicaNode(tmp_path / "n", "n")
+        node.apply(WriteOp("zz:1", "k", 7, arrays(1)))
+        node.apply(WriteOp("aa:1", "k", 7, arrays(2)))
+        # Same timestamp: the lexicographically larger origin wins,
+        # on every replica, regardless of delivery order.
+        assert np.array_equal(node.get("k")["coef"], arrays(1)["coef"])
+
+    def test_tombstone_hides_key(self, tmp_path):
+        node = ReplicaNode(tmp_path / "n", "n")
+        node.local_write("k", arrays(0))
+        node.local_write("k", None)
+        assert node.get("k") is None
+        assert node.keys() == []
+
+    def test_state_persists_across_reopen(self, tmp_path):
+        node = ReplicaNode(tmp_path / "n", "n")
+        node.local_write("k", arrays(3))
+        node.apply(WriteOp("peer:5", "k2", 20, arrays(4)))
+        digest = node.state_digest()
+        reopened = ReplicaNode(tmp_path / "n", "n")
+        assert reopened.last_seen == {"n": 1, "peer": 5}
+        assert reopened.clock.time == 20
+        assert reopened.state_digest() == digest
+        # The next local op continues the sequence (no op_id reuse).
+        assert reopened.local_write("k3", arrays(5)).op_id == "n:2"
+
+    def test_corrupt_state_format_rejected(self, tmp_path):
+        node = ReplicaNode(tmp_path / "n", "n")
+        node.local_write("k", arrays(0))
+        state_path = tmp_path / "n" / "REPLICA.json"
+        state = json.loads(state_path.read_text())
+        state["format"] = 99
+        state_path.write_text(json.dumps(state))
+        with pytest.raises(ValueError, match="format"):
+            ReplicaNode(tmp_path / "n", "n")
+
+
+class TestReplicatedResultsStore:
+    def test_put_get_roundtrip_bitwise(self, tmp_path):
+        store = ReplicatedResultsStore(tmp_path / "s")
+        payload = arrays(0)
+        op_id = store.put("job1|sel/k0", payload)
+        origin, seq = parse_op_id(op_id)
+        assert seq == 1
+        got = store.get("job1|sel/k0")
+        for name in payload:
+            assert np.array_equal(got[name], payload[name])
+        assert "job1|sel/k0" in store
+        assert "absent" not in store
+
+    def test_every_replica_of_the_shard_has_the_write(self, tmp_path):
+        store = ReplicatedResultsStore(tmp_path / "s", nshards=2, replication=3)
+        store.put("k", arrays(1))
+        for node in store.replicas("k"):
+            assert np.array_equal(node.get("k")["coef"], arrays(1)["coef"])
+        assert store.converged()
+
+    def test_shard_routing_is_stable_and_total(self, tmp_path):
+        store = ReplicatedResultsStore(tmp_path / "s", nshards=3)
+        keys = [f"k{i}" for i in range(64)]
+        shards = [store.shard_of(k) for k in keys]
+        assert shards == [store.shard_of(k) for k in keys]
+        assert set(shards) <= {0, 1, 2}
+        assert len(set(shards)) > 1  # actually partitions
+
+    def test_delete_propagates(self, tmp_path):
+        store = ReplicatedResultsStore(tmp_path / "s")
+        store.put("k", arrays(0))
+        store.delete("k")
+        assert store.get("k") is None
+        assert store.keys() == []
+
+    def test_read_falls_back_to_peer_replicas(self, tmp_path):
+        store = ReplicatedResultsStore(tmp_path / "s", nshards=1, replication=2)
+        store.put("k", arrays(2))
+        primary = store.nodes[0][0]
+        # Simulate a wiped primary: reads degrade to the sibling.
+        primary._index.clear()
+        got = store.get("k")
+        assert np.array_equal(got["coef"], arrays(2)["coef"])
+
+    def test_replay_with_duplicates_and_reordering_is_identical(
+        self, tmp_path
+    ):
+        store = ReplicatedResultsStore(tmp_path / "a", nshards=2)
+        for i in range(12):
+            store.put(f"job{i % 3}|est/k{i}", arrays(i))
+        store.put("job0|est/k0", arrays(99))  # overwrite -> two ops, one key
+        store.delete("job2|est/k2")
+        reference = store.state_digest()
+
+        ops = store.write_stream()
+        corrupted = ops + ops[:5] + ops[::2]  # inject duplicates
+        rng = random.Random(7)
+        rng.shuffle(corrupted)  # and reorder aggressively
+
+        replayed = ReplicatedResultsStore(tmp_path / "b", nshards=2)
+        applied = replayed.replay(corrupted)
+        assert applied == len(ops)  # every duplicate was suppressed
+        assert replayed.state_digest() == reference
+        assert replayed.converged()
+        # And the visible values match bitwise.
+        assert replayed.keys() == store.keys()
+        for key in store.keys():
+            a, b = store.get(key), replayed.get(key)
+            assert set(a) == set(b)
+            for name in a:
+                assert np.array_equal(a[name], b[name])
+        # Replaying again changes nothing.
+        assert replayed.replay(ops) == 0
+        assert replayed.state_digest() == reference
+
+    def test_reopen_resumes_identical_state(self, tmp_path):
+        store = ReplicatedResultsStore(tmp_path / "s")
+        for i in range(6):
+            store.put(f"k{i}", arrays(i))
+        digest = store.state_digest()
+        reopened = ReplicatedResultsStore(tmp_path / "s")
+        assert reopened.state_digest() == digest
+        assert reopened.keys() == store.keys()
+
+    def test_topology_is_pinned(self, tmp_path):
+        ReplicatedResultsStore(tmp_path / "s", nshards=2, replication=2)
+        with pytest.raises(ValueError, match="topology"):
+            ReplicatedResultsStore(tmp_path / "s", nshards=4, replication=2)
+
+    def test_bad_topology_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ReplicatedResultsStore(tmp_path / "s", nshards=0)
+        with pytest.raises(ValueError):
+            ReplicatedResultsStore(tmp_path / "s2", replication=0)
+
+    def test_concurrent_puts_converge(self, tmp_path):
+        store = ReplicatedResultsStore(tmp_path / "s", nshards=2)
+        barrier = threading.Barrier(4)
+        errors: list[BaseException] = []
+
+        def writer(tid: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(8):
+                    store.put(f"t{tid}/k{i}", arrays(tid * 100 + i))
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert store.converged()
+        assert len(store.keys()) == 32
