@@ -18,6 +18,7 @@ scheduler's engine hook (that is what ``stream_progress`` replays).
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Mapping
@@ -91,9 +92,10 @@ class JobSpec:
     tenant:
         Fair-share accounting bucket.
     idempotency_key:
-        Client-supplied dedup token: a second submit with the same key
-        returns the original job id, and store records are keyed by it
-        so a restarted service resumes the job's completed subproblems.
+        Client-supplied dedup token: a second submit with the same
+        ``(tenant, key)`` returns the original job id, and store
+        records are scoped by it (see :attr:`Job.store_key`) so a
+        restarted service resumes the job's completed subproblems.
     label:
         Free-form display label.
     """
@@ -137,6 +139,30 @@ class JobSpec:
             raise
         except (ValueError, TypeError) as exc:
             raise AdmissionError(f"invalid {self.kind} job: {exc}") from exc
+
+    def spec_digest(self) -> str:
+        """Content hash of everything that determines the fit.
+
+        Covers the estimator family, backend, config and the data
+        array bytes — two specs share a digest iff they would run the
+        identical computation, which is what makes the digest safe to
+        embed in :attr:`Job.store_key`: a stored payload can only ever
+        be served back to a spec that would have recomputed it.
+        """
+        h = hashlib.sha256()
+        h.update(self.kind.encode())
+        h.update(b"\0")
+        h.update(self.backend.encode())
+        h.update(b"\0")
+        h.update(repr(self.config).encode())
+        for name in sorted(self.data):
+            a = np.ascontiguousarray(np.asarray(self.data[name]))
+            h.update(b"\0")
+            h.update(name.encode())
+            h.update(str(a.dtype).encode())
+            h.update(str(a.shape).encode())
+            h.update(a.tobytes())
+        return h.hexdigest()
 
     def compat_key(self) -> tuple:
         """Batching compatibility: family + backend + data shapes.
@@ -195,6 +221,7 @@ class Job:
     cond: threading.Condition = field(default_factory=threading.Condition)
     done_event: threading.Event = field(default_factory=threading.Event)
     cancel_event: threading.Event = field(default_factory=threading.Event)
+    _store_key: str | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         desc = self.plan.describe()
@@ -205,9 +232,24 @@ class Job:
 
     @property
     def store_key(self) -> str:
-        """Results-store key prefix: stable across resubmits when the
-        client supplied an idempotency key."""
-        return self.spec.idempotency_key or self.id
+        """Results-store key prefix: ``<tenant>/<token>/<spec digest>``.
+
+        The token is the client's idempotency key when given (stable
+        across resubmits, which is what store-backed resume keys on)
+        or the job id otherwise.  The tenant scopes the key so two
+        tenants sharing an idempotency key can never read each other's
+        records, and the spec digest pins the key to the exact
+        computation — a restarted service whose job ids restart at
+        ``j1``, or a client reusing a key for a different fit, maps to
+        a fresh prefix instead of being served a foreign payload.
+        """
+        if self._store_key is None:
+            self._store_key = (
+                f"{self.spec.tenant}/"
+                f"{self.spec.idempotency_key or self.id}/"
+                f"{self.spec.spec_digest()[:16]}"
+            )
+        return self._store_key
 
     def note_subproblem(self, stage: str, *, recovered: bool) -> None:
         """Record one completed subproblem (scheduler hook path)."""

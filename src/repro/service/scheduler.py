@@ -44,6 +44,7 @@ from repro.service.jobs import (
     FAILED,
     QUEUED,
     RUNNING,
+    TERMINAL_STATES,
     Job,
     JobCancelled,
     outputs_to_arrays,
@@ -200,19 +201,23 @@ class Scheduler:
             if job.state == QUEUED:
                 try:
                     self._queue.remove(job)
-                except ValueError:  # pragma: no cover - claim/cancel race
+                except ValueError:  # pragma: no cover - shutdown race
                     pass
                 else:
                     self._gauge("service.queue_depth", len(self._queue))
                     self._finish(job, CANCELLED)
                     return True
-            if job.state == RUNNING:
-                job.cancel_event.set()
-                return True
-            if job.state == QUEUED:  # pragma: no cover - claim/cancel race
-                job.cancel_event.set()
-                return True
-        return False
+        # Not claimable from the queue: running, terminal, or mid-
+        # transition.  _finish() runs outside _cv, so re-check the
+        # state under the job's own condition (which _finish holds) —
+        # otherwise a job observed RUNNING here could already be
+        # terminal by the time the cancel flag lands, breaking the
+        # returns-False-once-terminal contract.
+        with job.cond:
+            if job.state in TERMINAL_STATES:
+                return False
+            job.cancel_event.set()
+            return True
 
     def queue_depth(self) -> int:
         with self._cv:
@@ -307,26 +312,39 @@ class Scheduler:
             self._finish(batch[0], CANCELLED)
             return
         except BaseException as exc:  # noqa: B036 - worker must survive
-            notes = "; ".join(getattr(exc, "__notes__", ()))
-            error = f"{type(exc).__name__}: {exc}"
-            if notes:
-                error += f" [{notes}]"
+            error = self._format_error(exc)
             for job in batch:
                 if job.cancel_event.is_set():
                     self._finish(job, CANCELLED)
                 else:
                     self._finish(job, FAILED, error=error)
             return
+        # Attribution must never escape the worker loop: an exception
+        # here (missing output key, store I/O failure) would otherwise
+        # kill the worker thread and strand the batch's remaining jobs
+        # in RUNNING forever.  Each job fails individually instead.
         for job in batch:
             if job.cancel_event.is_set():
                 self._finish(job, CANCELLED)
                 continue
-            result = outputs[job.id]
-            if self.store is not None:
-                self.store.put(
-                    f"{job.store_key}/result", outputs_to_arrays(result)
-                )
+            try:
+                result = outputs[job.id]
+                if self.store is not None:
+                    self.store.put(
+                        f"{job.store_key}/result", outputs_to_arrays(result)
+                    )
+            except BaseException as exc:  # noqa: B036 - worker must survive
+                self._finish(job, FAILED, error=self._format_error(exc))
+                continue
             self._finish(job, DONE, result=result)
+
+    @staticmethod
+    def _format_error(exc: BaseException) -> str:
+        notes = "; ".join(getattr(exc, "__notes__", ()))
+        error = f"{type(exc).__name__}: {exc}"
+        if notes:
+            error += f" [{notes}]"
+        return error
 
     def _finish(
         self,

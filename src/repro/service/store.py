@@ -24,11 +24,23 @@ SNIPPETS.md (multi-leader LWW with logical clocks):
   resolution is deterministic and order-independent.  Deletions
   propagate as *tombstones* (ops with no arrays) under the same rule.
 
-Replica state (version vector, per-key winner index, clock) persists
-in a ``REPLICA.json`` sidecar written with the same atomic
-write-rename protocol as the checkpoint manifest, so a crashed node
-reopens exactly where it stopped — this is what crash-safe job resume
-in :mod:`repro.service.scheduler` leans on.
+Replica state persists in two layers, so a crashed node reopens
+exactly where it stopped — this is what crash-safe job resume in
+:mod:`repro.service.scheduler` leans on:
+
+* **Op journal** — every applied op appends one metadata line to
+  ``OPLOG.jsonl`` (O(1) per op), and its arrays land in the node's
+  :class:`CheckpointStore` under an op-scoped record
+  (``__op__/<origin>:<seq>``).  The journal *is* the node's write
+  stream: anti-entropy replay to a recovering peer works across
+  restarts, not just within one process lifetime.
+* **Snapshot** — the derived state (version vector, per-key winner
+  index, clock) is written to a ``REPLICA.json`` sidecar with the
+  same atomic write-rename protocol as the checkpoint manifest, every
+  :data:`SNAPSHOT_EVERY` applies rather than on each one (a per-op
+  full-index rewrite would cost O(total keys) per write).  Reopening
+  loads the snapshot and replays the journal suffix it does not
+  cover, reconstructing identical state after a crash at any point.
 """
 
 from __future__ import annotations
@@ -54,8 +66,17 @@ __all__ = [
 ]
 
 REPLICA_STATE_NAME = "REPLICA.json"
+OPLOG_NAME = "OPLOG.jsonl"
 TOPOLOGY_NAME = "STORE.json"
-STATE_FORMAT = 1
+STATE_FORMAT = 2
+#: Applies between REPLICA.json snapshots (journal suffix replay
+#: covers the gap on reopen).
+SNAPSHOT_EVERY = 64
+
+
+def _op_record_key(origin: str, seq: int) -> str:
+    """CheckpointStore record key holding one op's array payload."""
+    return f"__op__/{origin}:{seq}"
 
 
 def parse_op_id(op_id: str) -> tuple[str, int]:
@@ -124,10 +145,14 @@ def _digest_arrays(arrays: Mapping[str, np.ndarray]) -> str:
 class ReplicaNode:
     """One replica: a CheckpointStore plus the replication metadata.
 
-    All mutations are serialized by an internal lock (worker threads of
-    the service share the nodes), and every applied op atomically
-    rewrites the ``REPLICA.json`` sidecar, so reopening the directory
-    resumes with the same version vector and winner index.
+    All mutations are serialized by an internal lock (worker threads
+    of the service share the nodes).  Every applied op durably appends
+    one line to the ``OPLOG.jsonl`` journal and saves its arrays under
+    an op-scoped store record; the derived state snapshot
+    (``REPLICA.json``) is rewritten every :data:`SNAPSHOT_EVERY`
+    applies.  Reopening the directory loads the snapshot, replays the
+    journal suffix it does not cover, and resumes with the same
+    version vector, winner index and write stream.
     """
 
     def __init__(self, root: str | os.PathLike, name: str) -> None:
@@ -135,14 +160,17 @@ class ReplicaNode:
         self.root = Path(root)
         self.store = CheckpointStore(self.root)
         self._lock = threading.RLock()
-        #: applied ops in arrival order (the node's write stream).
-        self.log: list[WriteOp] = []
+        #: applied op metadata in arrival order (mirrors OPLOG.jsonl);
+        #: each entry is {"op_id", "key", "ts", "deleted"}.
+        self._journal: list[dict] = []
         self._next_seq = 1
         self._last_seen: dict[str, int] = {}
         self._missing: dict[str, set[int]] = {}
         #: key -> winning op metadata {"ts", "origin", "seq", "deleted"}.
         self._index: dict[str, dict] = {}
         self.clock = LamportClock()
+        self._since_snapshot = 0
+        covered = 0
         state_path = self.root / REPLICA_STATE_NAME
         if state_path.exists():
             with open(state_path, "r", encoding="utf-8") as fh:
@@ -159,14 +187,69 @@ class ReplicaNode:
             }
             self._index = dict(state["index"])
             self.clock = LamportClock(int(state["clock"]))
+            covered = int(state.get("journal", 0))
+        self._journal = self._read_journal()
+        for entry in self._journal[covered:]:
+            self._replay_entry(entry)
+        if not state_path.exists():
+            # Pin the format sidecar up front so a reopen can always
+            # tell a fresh node from an incompatible one.
+            self._save_state()
 
     # ------------------------------------------------------------ state
+    def _read_journal(self) -> list[dict]:
+        """Parse OPLOG.jsonl, tolerating one torn trailing line."""
+        path = self.root / OPLOG_NAME
+        if not path.exists():
+            return []
+        entries: list[dict] = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError:
+                    # A crash mid-append leaves at most one partial
+                    # final line; everything before it is intact.
+                    break
+        return entries
+
+    def _append_journal(self, entry: dict) -> None:
+        with open(self.root / OPLOG_NAME, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.flush()
+
+    def _replay_entry(self, entry: dict) -> None:
+        """Re-derive state from one journal line (reopen path)."""
+        origin, seq = parse_op_id(entry["op_id"])
+        if self._applied(origin, seq):  # pragma: no cover - stale journal
+            return
+        self._mark_applied(origin, seq)
+        self.clock.observe(entry["ts"])
+        if origin == self.name:
+            self._next_seq = max(self._next_seq, seq + 1)
+        self._update_index(
+            entry["key"], entry["ts"], origin, seq, entry["deleted"]
+        )
+
+    def _update_index(
+        self, key: str, ts: int, origin: str, seq: int, deleted: bool
+    ) -> None:
+        cur = self._index.get(key)
+        if cur is None or (ts, origin) > (cur["ts"], cur["origin"]):
+            self._index[key] = {
+                "ts": ts,
+                "origin": origin,
+                "seq": seq,
+                "deleted": deleted,
+            }
+
     def _save_state(self) -> None:
         state = {
             "format": STATE_FORMAT,
             "name": self.name,
             "next_seq": self._next_seq,
             "clock": self.clock.time,
+            "journal": len(self._journal),
             "last_seen": dict(sorted(self._last_seen.items())),
             "missing": {
                 k: sorted(v) for k, v in sorted(self._missing.items()) if v
@@ -177,6 +260,7 @@ class ReplicaNode:
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(state, fh, indent=1, sort_keys=True)
         os.replace(tmp, self.root / REPLICA_STATE_NAME)
+        self._since_snapshot = 0
 
     @property
     def last_seen(self) -> dict[str, int]:
@@ -234,31 +318,58 @@ class ReplicaNode:
         with self._lock:
             if self._applied(origin, seq):
                 return False
+            deleted = op.arrays is None
+            # Durability order: arrays first (an orphan record is
+            # harmless), then the journal line (the commit point — a
+            # crash before it means the op was simply never applied
+            # and replication will redeliver it).
+            if not deleted:
+                self.store.save(_op_record_key(origin, seq), op.arrays)
+            entry = {
+                "op_id": op.op_id,
+                "key": op.key,
+                "ts": op.ts,
+                "deleted": deleted,
+            }
+            self._append_journal(entry)
+            self._journal.append(entry)
             self._mark_applied(origin, seq)
             self.clock.observe(op.ts)
-            self.log.append(op)
-            cur = self._index.get(op.key)
-            if cur is None or (op.ts, origin) > (cur["ts"], cur["origin"]):
-                deleted = op.arrays is None
-                if not deleted:
-                    self.store.save(op.key, op.arrays)
-                self._index[op.key] = {
-                    "ts": op.ts,
-                    "origin": origin,
-                    "seq": seq,
-                    "deleted": deleted,
-                }
-            self._save_state()
+            self._update_index(op.key, op.ts, origin, seq, deleted)
+            self._since_snapshot += 1
+            if self._since_snapshot >= SNAPSHOT_EVERY:
+                self._save_state()
             return True
 
     # ------------------------------------------------------------- reads
+    @property
+    def log(self) -> list[WriteOp]:
+        """Applied ops in arrival order — the node's write stream.
+
+        Materialized from the durable journal (arrays load from the
+        op-scoped store records), so it survives process restarts and
+        anti-entropy replay to a recovering peer still ships the full
+        history after a reopen.
+        """
+        with self._lock:
+            return [self._materialize(entry) for entry in self._journal]
+
+    def _materialize(self, entry: dict) -> WriteOp:
+        arrays = None
+        if not entry["deleted"]:
+            origin, seq = parse_op_id(entry["op_id"])
+            arrays = self.store.load(_op_record_key(origin, seq))
+        return WriteOp(entry["op_id"], entry["key"], entry["ts"], arrays)
+
     def get(self, key: str) -> dict[str, np.ndarray] | None:
         """The key's visible arrays, or None (absent / tombstoned)."""
         with self._lock:
             entry = self._index.get(key)
             if entry is None or entry["deleted"]:
                 return None
-            return self.store.load(key)
+            return self.store.load(
+                _op_record_key(entry["origin"], entry["seq"])
+            )
 
     def keys(self) -> list[str]:
         """Visible (non-tombstoned) keys, sorted."""
@@ -292,8 +403,12 @@ class ReplicaNode:
                 ).encode()
             )
             for key in sorted(self._index):
-                if not self._index[key]["deleted"]:
-                    h.update(_digest_arrays(self.store.load(key)).encode())
+                entry = self._index[key]
+                if not entry["deleted"]:
+                    arrays = self.store.load(
+                        _op_record_key(entry["origin"], entry["seq"])
+                    )
+                    h.update(_digest_arrays(arrays).encode())
             return h.hexdigest()
 
 

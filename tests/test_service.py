@@ -122,6 +122,35 @@ class TestJobSpec:
         with pytest.raises(AdmissionError, match="series"):
             JobSpec(kind="var", data={}).validate()
 
+    def test_spec_digest_pins_the_computation(self, lasso_problem):
+        a = JobSpec(kind="lasso", data=lasso_problem, config=LASSO_CFG)
+        b = JobSpec(kind="lasso", data=dict(lasso_problem), config=LASSO_CFG)
+        assert a.spec_digest() == b.spec_digest()
+        other = {"X": lasso_problem["X"], "y": -lasso_problem["y"]}
+        assert a.spec_digest() != JobSpec(
+            kind="lasso", data=other, config=LASSO_CFG
+        ).spec_digest()
+        assert a.spec_digest() != JobSpec(
+            kind="lasso", data=lasso_problem
+        ).spec_digest()
+
+    def test_store_key_scoped_by_tenant_and_spec(self, lasso_problem):
+        def job(tenant, data, jid="j1"):
+            spec = JobSpec(
+                kind="lasso", data=data, tenant=tenant, idempotency_key="K"
+            )
+            return Job(id=jid, spec=spec, plan=GatedPlan(), seq=1)
+
+        a = job("t1", lasso_problem)
+        assert a.store_key.startswith("t1/K/")
+        # Two tenants sharing an idempotency key never share records.
+        assert a.store_key != job("t2", lasso_problem).store_key
+        # Same key, different computation: fresh prefix, no stale hit.
+        other = {"X": lasso_problem["X"], "y": -lasso_problem["y"]}
+        assert a.store_key != job("t1", other).store_key
+        # Same tenant+key+spec: stable across service instances.
+        assert a.store_key == job("t1", lasso_problem, jid="j7").store_key
+
     def test_compat_key_depends_on_family_backend_shapes(self, lasso_problem):
         a = JobSpec(kind="lasso", data=lasso_problem, tenant="t1")
         b = JobSpec(kind="lasso", data=lasso_problem, tenant="t2")
@@ -233,6 +262,48 @@ class TestSchedulerLifecycle:
             sched.submit(job)
             assert job.done_event.wait(10.0)
             assert sched.cancel(job) is False
+        finally:
+            sched.shutdown()
+
+    def test_attribution_error_fails_job_and_worker_survives(self):
+        class ResultRejectingStore:
+            """Final-result writes fail for job ja; the rest succeed."""
+
+            def get(self, key):
+                return None
+
+            def put(self, key, arrays):
+                if "/ja/" in key and key.endswith("/result"):
+                    raise RuntimeError("result write failed")
+                return "stub:1"
+
+        class ArrayOutputsPlan(GatedPlan):
+            """Gated stub whose finalize() flattens like PlanOutputs."""
+
+            def finalize(self):
+                from types import SimpleNamespace
+
+                z = np.zeros(1)
+                return SimpleNamespace(
+                    coef=z, supports=z, losses=z, winners=z, lambdas=z
+                )
+
+        sched = Scheduler(
+            workers=1, batching=False, store=ResultRejectingStore()
+        )
+        try:
+            bad = make_stub_job("ja", 1, plan=ArrayOutputsPlan(label="ja"))
+            bad.plan.release.set()
+            sched.submit(bad)
+            assert bad.done_event.wait(10.0)
+            assert bad.state == "failed"
+            assert "result write failed" in bad.error
+            # The worker thread survived the attribution failure.
+            ok = make_stub_job("jb", 2, plan=ArrayOutputsPlan(label="jb"))
+            ok.plan.release.set()
+            sched.submit(ok)
+            assert ok.done_event.wait(10.0)
+            assert ok.state == DONE
         finally:
             sched.shutdown()
 
@@ -456,6 +527,58 @@ class TestService:
             assert np.array_equal(out.coef, ref.coef_)
             snapshots = [e for e in events if not e.get("final")]
             assert snapshots and all(e["recovered"] for e in snapshots)
+
+    def test_shared_idempotency_key_never_crosses_tenants(
+        self, tmp_path, lasso_problem
+    ):
+        other = {"X": lasso_problem["X"], "y": -lasso_problem["y"]}
+        ref_other = UoILasso(LASSO_CFG).fit(other["X"], other["y"])
+        with Service(workers=1, store_root=tmp_path / "store") as svc:
+            client = ServiceClient(svc)
+            first = client.submit(
+                "lasso",
+                lasso_problem,
+                config=LASSO_CFG,
+                tenant="t1",
+                idempotency_key="K",
+            )
+            svc.results(first, timeout=120.0)
+            # t2 reuses the key for a *different* fit: it must be
+            # computed fresh, never served from t1's records.
+            second = client.submit(
+                "lasso",
+                other,
+                config=LASSO_CFG,
+                tenant="t2",
+                idempotency_key="K",
+            )
+            events = list(client.stream_progress(second))
+            out = svc.results(second, timeout=120.0)
+        assert np.array_equal(out.coef, ref_other.coef_)
+        snapshots = [e for e in events if not e.get("final")]
+        assert snapshots and not any(e["recovered"] for e in snapshots)
+
+    def test_restarted_service_id_collision_not_stale_served(
+        self, tmp_path, lasso_problem
+    ):
+        other = {"X": lasso_problem["X"], "y": -lasso_problem["y"]}
+        ref_other = UoILasso(LASSO_CFG).fit(other["X"], other["y"])
+        with Service(workers=1, store_root=tmp_path / "store") as svc:
+            job_id = ServiceClient(svc).submit(
+                "lasso", lasso_problem, config=LASSO_CFG
+            )
+            svc.results(job_id, timeout=120.0)
+        # A fresh service restarts job ids at j1; a different fit
+        # landing on the recycled id must not hit the old records.
+        with Service(workers=1, store_root=tmp_path / "store") as svc2:
+            client = ServiceClient(svc2)
+            second = client.submit("lasso", other, config=LASSO_CFG)
+            assert second == job_id
+            events = list(client.stream_progress(second))
+            out = svc2.results(second, timeout=120.0)
+        assert np.array_equal(out.coef, ref_other.coef_)
+        snapshots = [e for e in events if not e.get("final")]
+        assert snapshots and not any(e["recovered"] for e in snapshots)
 
     def test_manifest_export_is_readable(self, tmp_path, lasso_problem):
         from repro.telemetry import read_manifest

@@ -2,6 +2,7 @@
 
 import json
 import random
+import shutil
 import threading
 
 import numpy as np
@@ -126,6 +127,44 @@ class TestReplicaNode:
         # The next local op continues the sequence (no op_id reuse).
         assert reopened.local_write("k3", arrays(5)).op_id == "n:2"
 
+    def test_journal_replay_recovers_from_missing_snapshot(self, tmp_path):
+        node = ReplicaNode(tmp_path / "n", "n")
+        for i in range(5):
+            node.local_write(f"k{i}", arrays(i))
+        node.apply(WriteOp("peer:9", "k1", 40, arrays(9)))
+        digest = node.state_digest()
+        # Crash before any periodic snapshot: the sidecar is gone but
+        # the journal carries everything.
+        (tmp_path / "n" / "REPLICA.json").unlink()
+        reopened = ReplicaNode(tmp_path / "n", "n")
+        assert reopened.state_digest() == digest
+        assert reopened.last_seen == {"n": 5, "peer": 9}
+        assert len(reopened.log) == 6
+        assert reopened.local_write("k9", arrays(7)).op_id == "n:6"
+
+    def test_snapshot_is_amortized_not_per_op(self, tmp_path):
+        node = ReplicaNode(tmp_path / "n", "n")
+        for i in range(5):
+            node.local_write(f"k{i}", arrays(i))
+        # Only the creation-time snapshot was written; the per-op
+        # durability lives in the O(1)-append journal.
+        state = json.loads((tmp_path / "n" / "REPLICA.json").read_text())
+        assert state["journal"] == 0
+        lines = (tmp_path / "n" / "OPLOG.jsonl").read_text().splitlines()
+        assert len(lines) == 5
+        reopened = ReplicaNode(tmp_path / "n", "n")
+        assert reopened.state_digest() == node.state_digest()
+
+    def test_torn_journal_tail_is_tolerated(self, tmp_path):
+        node = ReplicaNode(tmp_path / "n", "n")
+        node.local_write("k0", arrays(0))
+        node.local_write("k1", arrays(1))
+        with open(tmp_path / "n" / "OPLOG.jsonl", "a") as fh:
+            fh.write('{"op_id": "n:99", "key"')  # crash mid-append
+        reopened = ReplicaNode(tmp_path / "n", "n")
+        assert reopened.last_seen == {"n": 2}
+        assert len(reopened.log) == 2
+
     def test_corrupt_state_format_rejected(self, tmp_path):
         node = ReplicaNode(tmp_path / "n", "n")
         node.local_write("k", arrays(0))
@@ -211,6 +250,37 @@ class TestReplicatedResultsStore:
         # Replaying again changes nothing.
         assert replayed.replay(ops) == 0
         assert replayed.state_digest() == reference
+
+    def test_write_stream_survives_reopen(self, tmp_path):
+        store = ReplicatedResultsStore(tmp_path / "a", nshards=2)
+        for i in range(10):
+            store.put(f"k{i}", arrays(i))
+        store.put("k0", arrays(50))  # overwrite -> two ops, one key
+        store.delete("k3")
+        reference = store.state_digest()
+        # Restart the whole store: the stream must still be shippable.
+        reopened = ReplicatedResultsStore(tmp_path / "a", nshards=2)
+        ops = reopened.write_stream()
+        assert len(ops) == 12
+        fresh = ReplicatedResultsStore(tmp_path / "b", nshards=2)
+        assert fresh.replay(ops) == len(ops)
+        assert fresh.state_digest() == reference
+        assert fresh.keys() == store.keys()
+
+    def test_wiped_replica_reconverges_from_replayed_stream(self, tmp_path):
+        store = ReplicatedResultsStore(tmp_path / "s", nshards=1, replication=2)
+        for i in range(6):
+            store.put(f"k{i}", arrays(i))
+        expected = store.keys()
+        # Lose one replica entirely, then restart every process.
+        shutil.rmtree(tmp_path / "s" / "shard0" / "replica1")
+        reopened = ReplicatedResultsStore(
+            tmp_path / "s", nshards=1, replication=2
+        )
+        assert not reopened.converged()
+        reopened.replay(reopened.write_stream())
+        assert reopened.converged()
+        assert reopened.keys() == expected
 
     def test_reopen_resumes_identical_state(self, tmp_path):
         store = ReplicatedResultsStore(tmp_path / "s")
