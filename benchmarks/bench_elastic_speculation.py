@@ -1,0 +1,161 @@
+"""Elastic straggler mitigation: speculation on vs off under 10x delay.
+
+The elastic backend's pitch is that a straggling worker costs the run
+almost nothing: once a lease's age passes a telemetry-derived
+percentile threshold, the coordinator speculatively re-executes the
+chain on an idle worker and takes whichever copy finishes first
+(docs/elastic.md).  This benchmark injects a straggler — worker 0
+sleeps ~10x a chain's compute per chain (``FaultPlan.delay``, the
+resilience testbed) — and times the same LASSO fit twice:
+
+* ``no_speculation`` — ``SpeculationPolicy(enabled=False)``: the run
+  waits out every delayed chain,
+* ``speculation``    — the straggler's chains are re-executed on fast
+  workers as soon as they breach the threshold
+
+— best-of-``REPEATS`` with fleet assembly excluded from the timed
+region, writes ``BENCH_elastic.json`` at the repo root, and gates the
+subsystem on a ≥1.3x speculation-over-no-speculation speedup.  Both
+runs must also stay bitwise identical to serial: hiding a straggler
+may never cost a bit.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.config import UoILassoConfig
+from repro.core.uoi_lasso import UoILasso
+from repro.engine import SerialExecutor
+from repro.engine.coordinator import SpeculationPolicy
+from repro.engine.elastic import ElasticExecutor
+from repro.resilience.faults import FaultPlan
+
+N, P = 96, 10
+N_WORKERS = 3
+REPEATS = 3
+STRAGGLER_FACTOR = 10.0
+CFG = UoILassoConfig(
+    n_lambdas=5,
+    n_selection_bootstraps=3,
+    n_estimation_bootstraps=2,
+    max_iter=120,
+    random_state=11,
+)
+N_CHAINS = CFG.n_selection_bootstraps + CFG.n_estimation_bootstraps
+SPECULATION = SpeculationPolicy(
+    percentile=90.0, factor=2.0, min_seconds=0.05, min_samples=2
+)
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_elastic.json"
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(11)
+    X = rng.normal(size=(N, P))
+    beta = np.zeros(P)
+    beta[:3] = (1.0, -1.0, 0.5)
+    y = X @ beta + 0.1 * rng.normal(size=N)
+    return {"X": X, "y": y}
+
+
+@pytest.fixture(scope="module")
+def serial_coef(problem):
+    return (
+        UoILasso(CFG)
+        .fit(problem["X"], problem["y"], executor=SerialExecutor())
+        .coef_
+    )
+
+
+def _drive(problem, serial_coef, *, delay: float, speculation) -> float:
+    """Seconds for one elastic fit, fleet assembly excluded."""
+    faults = FaultPlan()
+    if delay:
+        faults.delay(0, seconds=delay)
+    executor = ElasticExecutor(
+        workers=N_WORKERS, faults=faults, speculation=speculation
+    )
+    try:
+        executor.ensure_fleet()  # blocks until all workers joined
+        t0 = time.perf_counter()
+        model = UoILasso(CFG).fit(
+            problem["X"], problem["y"], executor=executor
+        )
+        elapsed = time.perf_counter() - t0
+    finally:
+        executor.shutdown()
+    assert np.array_equal(model.coef_, serial_coef), (
+        "elastic fit diverged from serial"
+    )
+    return elapsed
+
+
+@pytest.fixture(scope="module")
+def timings(problem, serial_coef):
+    # Warm-up (BLAS pools, import costs) + the clean-fleet baseline
+    # that calibrates the injected delay to ~10x a chain's compute.
+    clean = min(
+        _drive(problem, serial_coef, delay=0.0, speculation=SPECULATION)
+        for _ in range(2)
+    )
+    delay = max(0.5, STRAGGLER_FACTOR * clean / N_CHAINS)
+    best = {"no_speculation": float("inf"), "speculation": float("inf")}
+    for _ in range(REPEATS):
+        best["no_speculation"] = min(
+            best["no_speculation"],
+            _drive(
+                problem,
+                serial_coef,
+                delay=delay,
+                speculation=SpeculationPolicy(enabled=False),
+            ),
+        )
+        best["speculation"] = min(
+            best["speculation"],
+            _drive(
+                problem, serial_coef, delay=delay, speculation=SPECULATION
+            ),
+        )
+    return {"clean": clean, "delay": delay, "best": best}
+
+
+def test_speculation_speedup_gate(timings):
+    best = timings["best"]
+    speedup = best["no_speculation"] / best["speculation"]
+    payload = {
+        "config": {
+            "n": N,
+            "p": P,
+            "workers": N_WORKERS,
+            "straggler_rank": 0,
+            "straggler_factor": STRAGGLER_FACTOR,
+            "delay_seconds": round(timings["delay"], 6),
+            "n_lambdas": CFG.n_lambdas,
+            "n_selection_bootstraps": CFG.n_selection_bootstraps,
+            "n_estimation_bootstraps": CFG.n_estimation_bootstraps,
+            "repeats": REPEATS,
+        },
+        "seconds": {
+            "clean": round(timings["clean"], 6),
+            **{mode: round(s, 6) for mode, s in best.items()},
+        },
+        "speculation_speedup": round(speedup, 3),
+        "gate": {"min_speedup": 1.3},
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(f"elastic clean fit: {timings['clean']:.3f}s on {N_WORKERS} workers")
+    print(f"injected straggler delay: {timings['delay']:.3f}s per chain")
+    for mode, seconds in best.items():
+        print(f"elastic {mode:>14}: {seconds:.3f}s best-of-{REPEATS}")
+    print(f"speculation / no_speculation = {speedup:.2f}x")
+    print(f"wrote {RESULT_PATH}")
+    assert speedup >= 1.3, (
+        f"speculation speedup {speedup:.2f}x is below the 1.3x gate"
+    )

@@ -64,13 +64,23 @@ __all__ = [
 #: engine: its wall clocks, thread scheduling, socket I/O and Lamport
 #: timestamps order *jobs and replica writes*, never floats — every
 #: numeric result is produced by the member plans it wraps, which
-#: stay inside the taint pass.
+#: stay inside the taint pass.  ``coordinator`` and ``elastic`` are
+#: the PR-7 orchestration layer: lease issue/expiry, straggler
+#: percentiles and worker join/leave all read the monotonic clock *by
+#: design*, but they only decide *where and when* a chain runs —
+#: every payload comes out of ``UoIPlan.run_chain`` and is replayed
+#: through hooks in deterministic chain order, so no clock value can
+#: reach plan arithmetic.  ``transports`` (the in-process
+#: serial/multiprocess/simmpi worker shims) deliberately stays
+#: scanned: it calls straight into plan code.
 EXCLUDED_SUBPACKAGES: tuple[str, ...] = (
     "telemetry",
     "simmpi",
     "analysis",
     "perf",
     "service",
+    "coordinator",
+    "elastic",
 )
 
 #: Base class whose subclasses carry the determinism contract.

@@ -362,3 +362,24 @@ class DynamicChecker:
             ("<runtime>", 0),
             blocked={str(r): c for r, c in blocked.items()},
         )
+
+    def on_lease_stall(self, stalled: dict[str, str], reason: str) -> None:
+        """Record a coordinator fleet stall (DYN205).
+
+        The worker-lease generalization of :meth:`on_deadlock`:
+        ``stalled`` maps each worker name to a description of the
+        lease it holds (chain + subproblem keys); called by the
+        engine coordinator when no completion, partial, join or leave
+        arrives within its stall timeout, right before the run aborts.
+        """
+        description = "; ".join(
+            f"worker {w} holding {lease}"
+            for w, lease in sorted(stalled.items())
+        )
+        self._emit(
+            "DYN205",
+            f"worker-lease stall: {reason} — "
+            f"{description or 'no workers registered'}",
+            ("<coordinator>", 0),
+            stalled=dict(sorted(stalled.items())),
+        )

@@ -46,6 +46,8 @@ __all__ = [
     "PlanVerificationError",
     "verify_plan",
     "assert_valid_plan",
+    "verify_lease_disjointness",
+    "assert_disjoint_leases",
     "plan_lint_source",
     "plan_lint_file",
     "plan_lint_paths",
@@ -297,6 +299,81 @@ def verify_plan(plan: object) -> list[Finding]:
 def assert_valid_plan(plan: object) -> None:
     """Raise :class:`PlanVerificationError` unless ``plan`` verifies."""
     findings = verify_plan(plan)
+    if findings:
+        raise PlanVerificationError(findings)
+
+
+# ---------------------------------------------------------------------------
+# runtime side: lease disjointness (PLAN405)
+# ---------------------------------------------------------------------------
+def verify_lease_disjointness(leases: Sequence[object]) -> list[Finding]:
+    """PLAN405: active coordinator leases never overlap.
+
+    ``leases`` is any sequence of objects with ``keys`` (subproblem
+    keys covered), ``chain_index``, ``worker`` and ``speculative``
+    attributes (duck-typed so the engine's ``Lease`` needs no import
+    here).  The invariant mirrors PLAN404's ownership partition at
+    runtime: a subproblem key may be covered by at most one *primary*
+    (non-speculative) lease; speculative duplicates of the **same**
+    chain are exempt — they re-run a pure chain and only the first
+    result is kept — but a speculative lease overlapping a *different*
+    chain's keys is still a violation.
+    """
+    rule = get_rule("PLAN405")
+    findings: list[Finding] = []
+    primary_by_key: dict[str, object] = {}
+    chain_by_key: dict[str, object] = {}
+    for lease in leases:
+        speculative = bool(getattr(lease, "speculative", False))
+        for key in getattr(lease, "keys", ()):
+            other = chain_by_key.get(key)
+            if other is not None and getattr(
+                other, "chain_index", None
+            ) != getattr(lease, "chain_index", None):
+                findings.append(
+                    _lease_finding(rule, key, lease, other, "cross-chain")
+                )
+            if speculative:
+                chain_by_key.setdefault(key, lease)
+                continue
+            prev = primary_by_key.get(key)
+            if prev is not None:
+                findings.append(
+                    _lease_finding(rule, key, lease, prev, "double-primary")
+                )
+            else:
+                primary_by_key[key] = lease
+            chain_by_key.setdefault(key, lease)
+    return findings
+
+
+def _lease_finding(
+    rule: object, key: str, lease: object, other: object, shape: str
+) -> Finding:
+    def _describe(obj: object) -> str:
+        worker = getattr(obj, "worker", "?")
+        chain = getattr(obj, "chain_index", "?")
+        spec = " (speculative)" if getattr(obj, "speculative", False) else ""
+        return f"chain {chain} on {worker}{spec}"
+
+    return Finding(
+        rule=rule.id,  # type: ignore[attr-defined]
+        severity=rule.severity,  # type: ignore[attr-defined]
+        message=(
+            f"subproblem {key!r} is covered by two active leases "
+            f"({_describe(lease)} and {_describe(other)}, {shape}): leases "
+            "must partition outstanding work like PLAN404 ownership"
+        ),
+        file="<coordinator>",
+        line=0,
+        source="plan",
+        context={"key": key, "overlap": shape},
+    )
+
+
+def assert_disjoint_leases(leases: Sequence[object]) -> None:
+    """Raise :class:`PlanVerificationError` on any PLAN405 overlap."""
+    findings = verify_lease_disjointness(leases)
     if findings:
         raise PlanVerificationError(findings)
 

@@ -167,6 +167,21 @@ DYNAMIC_RULES = (
             "diagnosable from one message."
         ),
     ),
+    Rule(
+        id="DYN205",
+        name="worker-lease-stall",
+        severity=ERROR,
+        summary="coordinator fleet made no progress within the stall timeout",
+        rationale=(
+            "The worker-lease generalization of DYN204: when every "
+            "outstanding lease sits on a worker that is neither "
+            "completing, streaming partials, nor departing — and no new "
+            "worker joins — the elastic run can only time out. The "
+            "reporter names each stalled worker and the lease it holds "
+            "(chain + subproblem keys) so a hung fleet is diagnosable "
+            "from one message."
+        ),
+    ),
 )
 
 SHAPE_RULES = (
@@ -323,6 +338,23 @@ PLAN_RULES = (
             "unconditional — otherwise ranks disagree on the collective "
             "sequence and the run deadlocks or combines unrelated "
             "payloads."
+        ),
+    ),
+    Rule(
+        id="PLAN405",
+        name="lease-disjointness",
+        severity=ERROR,
+        summary="two active leases cover the same subproblem",
+        rationale=(
+            "The coordinator's leases must partition outstanding work "
+            "the way PLAN404's grid cells partition the plan: at most "
+            "one primary (non-speculative) lease may cover a subproblem "
+            "key at a time. Overlapping primary leases mean two workers "
+            "own one subproblem — wasted compute at best, and a "
+            "first-writer-wins race on checkpoint records at worst. "
+            "Speculative duplicates are exempt by design: they re-run "
+            "the same pure chain and the coordinator keeps only the "
+            "first result."
         ),
     ),
 )

@@ -18,14 +18,23 @@ Subcommands
     checkpoint, and report recovered-vs-lost virtual time.
 ``machine [name]``
     Print a machine-model calibration sheet (default: cori-knl).
-``engine [--kind K] [--n N] [--p P] [--machine M]``
+``engine [--kind K] [--n N] [--p P] [--machine M] [--backend B]``
     Execution-engine dry run: list the pluggable backends, then
     enumerate the subproblem plan a fit of the given shape would run —
     warm-start chain counts, per-chain subproblem counts
     (run-length encoded as ``<chains>x<subproblems each>``),
     checkpoint-key patterns, and the estimated floating-point cost
     (with modeled seconds on the chosen machine) — without solving
-    anything.
+    anything.  ``--backend B`` additionally solves a small fit on that
+    backend and verifies the coefficients are bitwise identical to the
+    serial reference (``elastic`` accepted).
+``workers join|inspect --host H --port P ...``
+    Elastic-backend worker processes: ``join`` connects a worker to a
+    running :class:`~repro.engine.elastic.WorkerHub` and serves
+    warm-start chains until the hub closes (``--delay`` /
+    ``--crash-at`` / ``--crash-after`` are the fault-injection knobs
+    the tests and the straggler benchmark use); ``inspect`` prints a
+    hub's live status (workers, current stage) as JSON.
 ``serve [--demo N] [--workers W] [--max-batch B] [--no-batch] ...``
     Run the multi-tenant UoI fitting service: a line-JSON socket
     server multiplexing LASSO/VAR jobs over a bounded worker pool,
@@ -173,6 +182,56 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(_MACHINES),
         help="machine model used to convert FLOPs to modeled seconds",
     )
+    eng.add_argument(
+        "--backend",
+        default=None,
+        metavar="B",
+        help="also solve a small fit on this backend and verify bitwise "
+        "identity against the serial reference",
+    )
+    eng.add_argument(
+        "--elastic-workers",
+        type=int,
+        default=2,
+        help="fleet size when --backend elastic (default 2)",
+    )
+
+    workers = sub.add_parser(
+        "workers", help="elastic-backend worker processes"
+    )
+    wsub = workers.add_subparsers(dest="workers_command", required=True)
+    wjoin = wsub.add_parser(
+        "join", help="connect a worker to a running hub and serve chains"
+    )
+    wjoin.add_argument("--host", required=True, help="hub address")
+    wjoin.add_argument("--port", type=int, required=True, help="hub port")
+    wjoin.add_argument(
+        "--name", default=None, help="requested worker name (hub may uniquify)"
+    )
+    wjoin.add_argument(
+        "--delay",
+        type=float,
+        default=0.0,
+        help="straggler injection: sleep this many seconds before each chain",
+    )
+    wjoin.add_argument(
+        "--crash-at",
+        type=int,
+        default=None,
+        metavar="K",
+        help="fault injection: die on receiving the K-th run frame",
+    )
+    wjoin.add_argument(
+        "--crash-after",
+        type=int,
+        default=None,
+        metavar="K",
+        help="fault injection: die after streaming the K-th chain's "
+        "subproblems but before reporting it done",
+    )
+    winspect = wsub.add_parser("inspect", help="print a hub's status as JSON")
+    winspect.add_argument("--host", required=True, help="hub address")
+    winspect.add_argument("--port", type=int, required=True, help="hub port")
 
     serve = sub.add_parser(
         "serve", help="run the multi-tenant UoI fitting service"
@@ -421,7 +480,67 @@ def _cmd_engine(args: argparse.Namespace) -> int:
             f" (~{total / (machine.gemm_gflops * 1e9):.3g}s modeled)"
         )
         print()
+
+    if args.backend is not None:
+        return _engine_backend_check(args.backend, args.elastic_workers)
     return 0
+
+
+def _engine_backend_check(backend: str, elastic_workers: int) -> int:
+    """Solve a small LASSO fit on ``backend`` and compare to serial."""
+    import numpy as np
+
+    from repro.core.config import UoILassoConfig
+    from repro.core.uoi_lasso import UoILasso
+    from repro.datasets import make_sparse_regression
+    from repro.engine import BACKEND_ALIASES, make_executor
+
+    name = BACKEND_ALIASES.get(backend, backend)
+    ds = make_sparse_regression(
+        96, 10, n_informative=3, snr=15.0, rng=np.random.default_rng(7)
+    )
+    cfg = UoILassoConfig(
+        n_lambdas=5,
+        n_selection_bootstraps=3,
+        n_estimation_bootstraps=2,
+        random_state=12,
+    )
+    reference = UoILasso(cfg).fit(ds.X, ds.y).coef_
+    if name == "elastic":
+        from repro.engine.elastic import ElasticExecutor
+
+        executor = ElasticExecutor(workers=elastic_workers)
+        try:
+            candidate = UoILasso(cfg).fit(ds.X, ds.y, executor=executor).coef_
+        finally:
+            executor.shutdown()
+    else:
+        candidate = (
+            UoILasso(cfg).fit(ds.X, ds.y, executor=make_executor(name)).coef_
+        )
+    identical = bool(np.array_equal(reference, candidate))
+    print(f"backend {name}: bitwise identical to serial = {identical}")
+    return 0 if identical else 1
+
+
+def _cmd_workers(args: argparse.Namespace) -> int:
+    from repro.engine.elastic import inspect_hub, worker_main
+
+    if args.workers_command == "join":
+        return worker_main(
+            args.host,
+            args.port,
+            args.name,
+            delay=args.delay,
+            crash_at=args.crash_at,
+            crash_after=args.crash_after,
+        )
+    if args.workers_command == "inspect":
+        import json
+
+        print(json.dumps(inspect_hub(args.host, args.port), sort_keys=True))
+        return 0
+    raise AssertionError(f"unhandled workers command {args.workers_command!r}")
 
 
 def _summarize_manifest(path: str) -> None:
@@ -675,6 +794,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_machine(args.name)
     if args.command == "engine":
         return _cmd_engine(args)
+    if args.command == "workers":
+        return _cmd_workers(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "check":

@@ -8,6 +8,14 @@ The four UoI entry points — :class:`repro.core.UoILasso`,
   typed :class:`Subproblem` tasks with dependency chains.
 * :mod:`repro.engine.plans` — :class:`LassoPlan` / :class:`VarPlan`,
   the concrete local plans (exact legacy serial numerics).
+* :mod:`repro.engine.coordinator` — the transport-agnostic
+  :class:`~repro.engine.coordinator.Coordinator` (work queue, leases,
+  completion tracking, speculation) every backend runs on.
+* :mod:`repro.engine.transports` — the in-process
+  :class:`~repro.engine.coordinator.WorkerTransport` implementations
+  (serial / multiprocess / simmpi).
+* :mod:`repro.engine.elastic` — the out-of-process socket-worker
+  transport with mid-run join/leave (``elastic`` backend).
 * :mod:`repro.engine.executors` — :class:`SerialExecutor`,
   :class:`MultiprocessExecutor`, :class:`SimMpiExecutor`, and the
   :func:`run_plan` driver loop.
@@ -17,8 +25,12 @@ The four UoI entry points — :class:`repro.core.UoILasso`,
 
 Backend selection: pass ``executor=`` to the estimators, or set the
 ``REPRO_ENGINE_BACKEND`` environment variable (``serial`` |
-``multiprocess`` | ``simmpi``) to change the process-wide default —
-that is how CI runs the whole suite on the multiprocess backend.
+``multiprocess`` | ``simmpi`` | ``elastic``) to change the
+process-wide default — that is how CI runs the whole suite on the
+multiprocess and elastic backends.  ``elastic`` as the process
+default uses one shared worker fleet
+(:func:`repro.engine.elastic.shared_elastic_executor`,
+``REPRO_ELASTIC_WORKERS`` workers) rather than a fleet per fit.
 """
 
 from __future__ import annotations
@@ -33,7 +45,16 @@ from repro.engine.plan import (
     UoIPlan,
 )
 from repro.engine.hooks import EngineHook, HookList, ProgressHook, RecordingHook
+from repro.engine.coordinator import (
+    Coordinator,
+    Lease,
+    SpeculationPolicy,
+    TransportEvent,
+    WorkerTransport,
+    worker_utilization,
+)
 from repro.engine.executors import (
+    CoordinatedExecutor,
     Executor,
     MultiprocessExecutor,
     SerialExecutor,
@@ -56,6 +77,13 @@ __all__ = [
     "RecordingHook",
     "ProgressHook",
     "Executor",
+    "CoordinatedExecutor",
+    "Coordinator",
+    "Lease",
+    "TransportEvent",
+    "WorkerTransport",
+    "SpeculationPolicy",
+    "worker_utilization",
     "SerialExecutor",
     "MultiprocessExecutor",
     "SimMpiExecutor",
@@ -65,10 +93,15 @@ __all__ = [
     "VarPlan",
     "run_plan",
     "annotate_failure",
+    "ElasticExecutor",
+    "shared_elastic_executor",
     "BACKENDS",
+    "BACKEND_ALIASES",
     "make_executor",
     "default_executor",
 ]
+
+from repro.engine.elastic import ElasticExecutor, shared_elastic_executor
 
 #: Backend name -> (factory, one-line description) for CLI listings.
 BACKENDS = {
@@ -84,7 +117,15 @@ BACKENDS = {
         SimMpiExecutor,
         "simulated MPI ranks with modeled time (standalone or bound)",
     ),
+    "elastic": (
+        ElasticExecutor,
+        "out-of-process socket workers; mid-run join/leave + speculation",
+    ),
 }
+
+#: Accepted spellings that are not BACKENDS keys (the issue/paper name
+#: the elastic backend by its full slug).
+BACKEND_ALIASES = {"processpool-elastic": "elastic"}
 
 
 def make_executor(name: str, verify: bool = False, **kwargs: object) -> Executor:
@@ -96,6 +137,7 @@ def make_executor(name: str, verify: bool = False, **kwargs: object) -> Executor
     first stage (process-wide opt-in: ``REPRO_PLAN_VERIFY=1``, checked
     by :func:`run_plan` itself).
     """
+    name = BACKEND_ALIASES.get(name, name)
     try:
         factory, _ = BACKENDS[name]
     except KeyError:
@@ -111,11 +153,17 @@ def make_executor(name: str, verify: bool = False, **kwargs: object) -> Executor
 def default_executor() -> Executor:
     """The process-wide default backend.
 
-    ``REPRO_ENGINE_BACKEND`` selects it (CI's second matrix entry sets
-    ``multiprocess`` to run the whole suite off the reference
-    backend); unset or empty means serial.
+    ``REPRO_ENGINE_BACKEND`` selects it (CI matrix entries set
+    ``multiprocess`` and ``elastic`` to run the whole suite off the
+    reference backend); unset or empty means serial.  ``elastic``
+    resolves to the process-wide shared fleet rather than a fresh
+    executor per call — spawning workers per fit would dominate every
+    small run.
     """
     name = os.environ.get("REPRO_ENGINE_BACKEND", "").strip().lower()
     if not name:
         return SerialExecutor()
+    name = BACKEND_ALIASES.get(name, name)
+    if name == "elastic":
+        return shared_elastic_executor()
     return make_executor(name)

@@ -1,22 +1,33 @@
 """Pluggable execution backends for :class:`~repro.engine.plan.UoIPlan`.
 
-Three backends consume the same plan:
+Since PR 7 every backend is a thin shell: a
+:class:`~repro.engine.coordinator.Coordinator` owns orchestration
+(lookup, lease assignment, deterministic hook replay, straggler
+speculation) and a :class:`~repro.engine.coordinator.WorkerTransport`
+owns *where chains run*:
 
-* :class:`SerialExecutor` — chains run in order on the calling thread;
-  the numerical reference every other backend is pinned against.
-* :class:`MultiprocessExecutor` — chains fan out over a
+* :class:`SerialExecutor` — inline transport; chains run in order on
+  the calling thread: the numerical reference every other backend is
+  pinned against.
+* :class:`MultiprocessExecutor` — streaming transport over a
   ``ProcessPoolExecutor`` for real multi-core speedup on local
   hardware.  Because plans are pure (all randomness pre-drawn, chains
   independent), the results are bitwise identical to serial: the same
-  float operations run, merely elsewhere.
-* :class:`SimMpiExecutor` — chains run on simulated MPI ranks
-  (:func:`repro.simmpi.executor.run_spmd`).  Standalone it
+  float operations run, merely elsewhere.  A worker process dying
+  mid-subproblem surfaces as :class:`~repro.simmpi.executor.SpmdError`
+  naming the lost subproblem keys.
+* :class:`SimMpiExecutor` — batched transport over simulated MPI
+  ranks (:func:`repro.simmpi.executor.run_spmd`).  Standalone it
   round-robins chains over a fresh simulated world; *bound* (via
   :meth:`SimMpiExecutor.bound`) it becomes the per-rank engine inside
   an existing SPMD program, filtering tasks by the caller's
   P_B x P_lambda :class:`~repro.core.parallel.ProcessGrid` — this is
   how the legacy distributed drivers run on the engine without
-  changing a single collective.
+  changing a single collective.  (Bound mode runs *inside* a rank
+  program and bypasses the coordinator entirely.)
+* ``elastic`` (:class:`repro.engine.elastic.ElasticExecutor`) — the
+  out-of-process streaming transport: socket workers that join and
+  leave mid-run, with lease reassignment and speculation.
 
 Failure attribution: any exception escaping a chain or a reduction is
 annotated (PEP 678 ``add_note``) with the backend name and the plan
@@ -30,27 +41,32 @@ stage → hooks' ``on_stage_end`` (checkpoint flush) → stage reduction.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-import pickle
-from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Any, Iterable
 
 import numpy as np
 
+from repro.engine.coordinator import (
+    Coordinator,
+    Payload,
+    WorkerTransport,
+    annotate_failure,
+)
 from repro.engine.hooks import EngineHook, HookList
 from repro.engine.plan import Subproblem, UoIPlan
+from repro.engine.transports import (
+    MultiprocessTransport,
+    SerialTransport,
+    SimMpiTransport,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards, typing only
     from repro.core.parallel import ProcessGrid
-    from repro.simmpi.comm import SimComm
     from repro.simmpi.machine import Machine
-
-#: The engine's result currency: one checkpointable payload per task.
-Payload = dict[str, np.ndarray]
 
 __all__ = [
     "Executor",
+    "CoordinatedExecutor",
     "SerialExecutor",
     "MultiprocessExecutor",
     "SimMpiExecutor",
@@ -58,31 +74,8 @@ __all__ = [
     "run_plan",
     "annotate_failure",
     "plan_verification_enabled",
+    "Payload",
 ]
-
-
-def annotate_failure(
-    exc: BaseException,
-    backend: str,
-    stage: str,
-    tasks: list[Subproblem] | None = None,
-) -> BaseException:
-    """Attach engine context to an exception (PEP 678 note).
-
-    The note names the executing backend and the plan position —
-    stage plus the subproblem keys of the failing chain — so aggregated
-    reports (:class:`~repro.simmpi.executor.SpmdError`,
-    ``failed_ranks``) identify exactly which subproblem died where.
-    """
-    where = f"engine backend={backend} stage={stage}"
-    if tasks:
-        keys = ", ".join(t.key for t in tasks)
-        where += f" subproblems [{keys}]"
-    try:
-        exc.add_note(where)
-    except Exception:  # pragma: no cover - non-standard exception types
-        pass
-    return exc
 
 
 class Executor:
@@ -107,22 +100,23 @@ class Executor:
         raise NotImplementedError
 
 
-def _lookup_chain(
-    chain: list[Subproblem], hooks: HookList
-) -> dict[str, dict[str, np.ndarray]]:
-    """Recovered payloads for a chain (hook dispatch included)."""
-    recovered = {}
-    for task in chain:
-        payload = hooks.lookup(task)
-        if payload is not None:
-            recovered[task.key] = payload
-    return recovered
+class CoordinatedExecutor(Executor):
+    """An executor that is a coordinator driving one transport.
 
+    Subclasses construct the transport; everything else — lookups,
+    leases, completion tracking, deterministic hook replay — is the
+    coordinator's, shared by every backend.
+    """
 
-class SerialExecutor(Executor):
-    """In-order, in-process execution — the reference backend."""
+    def __init__(
+        self, transport: WorkerTransport, **coordinator_kwargs: Any
+    ) -> None:
+        self.transport = transport
+        self._coordinator = Coordinator(transport, **coordinator_kwargs)
 
-    name = "serial"
+    @property
+    def coordinator(self) -> Coordinator:
+        return self._coordinator
 
     def run_stage(
         self,
@@ -131,75 +125,20 @@ class SerialExecutor(Executor):
         chains: list[list[Subproblem]],
         hooks: HookList,
     ) -> dict[str, Payload]:
-        results: dict[str, Payload] = {}
-        for chain in chains:
-            recovered = _lookup_chain(chain, hooks)
-            for task in chain:
-                if task.key in recovered:
-                    results[task.key] = recovered[task.key]
-                    hooks.on_subproblem_done(
-                        task, recovered[task.key], recovered=True
-                    )
-            if len(recovered) == len(chain):
-                continue
-
-            def emit(
-                task: Subproblem,
-                payload: Payload,
-                _results: dict[str, Payload] = results,
-            ) -> None:
-                _results[task.key] = payload
-                hooks.on_subproblem_done(task, payload, recovered=False)
-
-            try:
-                plan.run_chain(stage, chain, recovered, emit)
-            except BaseException as exc:
-                annotate_failure(exc, self.name, stage, chain)
-                raise
-        return results
+        return self._coordinator.run_stage(plan, stage, chains, hooks)
 
 
-# ---------------------------------------------------------------------------
-# multiprocess backend
-# ---------------------------------------------------------------------------
-# Worker-process state, installed once per pool via the initializer so
-# the (potentially large) plan is pickled once, not per chain.
-_MP_STATE: dict = {}
+class SerialExecutor(CoordinatedExecutor):
+    """In-order, in-process execution — the reference backend."""
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        super().__init__(SerialTransport())
 
 
-def _mp_init(blob: bytes) -> None:
-    plan, stage = pickle.loads(blob)
-    _MP_STATE["plan"] = plan
-    _MP_STATE["stage"] = stage
-    _MP_STATE["chains"] = plan.chains(stage)
-
-
-def _mp_run_chain(
-    chain_index: int, recovered: dict[str, dict[str, np.ndarray]]
-) -> dict[str, dict[str, np.ndarray]]:
-    plan, stage = _MP_STATE["plan"], _MP_STATE["stage"]
-    chain = _MP_STATE["chains"][chain_index]
-    out: dict[str, Payload] = {}
-
-    def emit(task: Subproblem, payload: Payload) -> None:
-        out[task.key] = payload
-
-    try:
-        plan.run_chain(stage, chain, recovered, emit)
-    except BaseException as exc:
-        annotate_failure(exc, MultiprocessExecutor.name, stage, chain)
-        raise
-    return out
-
-
-class MultiprocessExecutor(Executor):
+class MultiprocessExecutor(CoordinatedExecutor):
     """Real multi-core execution over a process pool.
-
-    Chains are independent by contract, so they are farmed out to
-    worker processes; hook dispatch stays in the parent and replays in
-    deterministic chain order once the stage's futures resolve.  The
-    plan is re-pickled per stage (workers need the state produced by
-    earlier reductions, e.g. the support family before estimation).
 
     Parameters
     ----------
@@ -215,82 +154,15 @@ class MultiprocessExecutor(Executor):
     def __init__(
         self, max_workers: int | None = None, start_method: str | None = None
     ) -> None:
-        if max_workers is None:
-            max_workers = min(os.cpu_count() or 1, 8)
-        if max_workers < 1:
-            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-        if start_method is None:
-            methods = multiprocessing.get_all_start_methods()
-            start_method = "fork" if "fork" in methods else "spawn"
-        self.max_workers = max_workers
-        self.start_method = start_method
-
-    def run_stage(
-        self,
-        plan: UoIPlan,
-        stage: str,
-        chains: list[list[Subproblem]],
-        hooks: HookList,
-    ) -> dict[str, Payload]:
-        recovered_by_chain: list[dict[str, Payload]] = []
-        pending: list[int] = []
-        for ci, chain in enumerate(chains):
-            recovered = _lookup_chain(chain, hooks)
-            recovered_by_chain.append(recovered)
-            if len(recovered) < len(chain):
-                pending.append(ci)
-
-        computed: dict[int, dict[str, Payload]] = {}
-        if pending:
-            blob = pickle.dumps((plan, stage))
-            ctx = multiprocessing.get_context(self.start_method)
-            workers = min(self.max_workers, len(pending))
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=ctx,
-                initializer=_mp_init,
-                initargs=(blob,),
-            ) as pool:
-                futures = {
-                    ci: pool.submit(_mp_run_chain, ci, recovered_by_chain[ci])
-                    for ci in pending
-                }
-                for ci, fut in futures.items():
-                    try:
-                        computed[ci] = fut.result()
-                    except BaseException as exc:
-                        # Workers annotate before raising, but a chain
-                        # that died before reaching the worker (pickle,
-                        # pool teardown) still needs attribution.
-                        if "engine backend=" not in "".join(
-                            getattr(exc, "__notes__", ())
-                        ):
-                            annotate_failure(exc, self.name, stage, chains[ci])
-                        raise
-
-        # Deterministic hook replay + result assembly, in chain order.
-        results: dict[str, Payload] = {}
-        for ci, chain in enumerate(chains):
-            recovered = recovered_by_chain[ci]
-            solved = computed.get(ci, {})
-            for task in chain:
-                if task.key in recovered:
-                    results[task.key] = recovered[task.key]
-                    hooks.on_subproblem_done(
-                        task, recovered[task.key], recovered=True
-                    )
-                else:
-                    results[task.key] = solved[task.key]
-                    hooks.on_subproblem_done(
-                        task, solved[task.key], recovered=False
-                    )
-        return results
+        transport = MultiprocessTransport(
+            max_workers=max_workers, start_method=start_method
+        )
+        super().__init__(transport)
+        self.max_workers = transport.max_workers
+        self.start_method = transport.start_method
 
 
-# ---------------------------------------------------------------------------
-# simulated-MPI backend
-# ---------------------------------------------------------------------------
-class SimMpiExecutor(Executor):
+class SimMpiExecutor(CoordinatedExecutor):
     """Simulated-MPI execution, standalone or bound to an SPMD program.
 
     *Standalone* (``SimMpiExecutor(nranks=4)``): each stage launches a
@@ -316,11 +188,11 @@ class SimMpiExecutor(Executor):
     def __init__(
         self, nranks: int = 2, machine: "Machine | None" = None
     ) -> None:
-        if nranks < 1:
-            raise ValueError(f"nranks must be >= 1, got {nranks}")
-        self.nranks = nranks
-        self.machine = machine
-        self._grid = None
+        transport = SimMpiTransport(nranks=nranks, machine=machine)
+        super().__init__(transport)
+        self.nranks = transport.nranks
+        self.machine = transport.machine
+        self._grid: "ProcessGrid | None" = None
 
     @classmethod
     def bound(cls, grid: "ProcessGrid") -> "SimMpiExecutor":
@@ -339,7 +211,7 @@ class SimMpiExecutor(Executor):
     ) -> dict[str, Payload]:
         if self._grid is not None:
             return self._run_bound(plan, stage, chains, hooks)
-        return self._run_standalone(plan, stage, chains, hooks)
+        return super().run_stage(plan, stage, chains, hooks)
 
     def _run_bound(
         self,
@@ -349,6 +221,7 @@ class SimMpiExecutor(Executor):
         hooks: HookList,
     ) -> dict[str, Payload]:
         grid = self._grid
+        assert grid is not None
         results: dict[str, Payload] = {}
         for chain in chains:
             if not grid.owns_bootstrap(chain[0].bootstrap):
@@ -383,78 +256,6 @@ class SimMpiExecutor(Executor):
             except BaseException as exc:
                 annotate_failure(exc, self.name, stage, owned)
                 raise
-        return results
-
-    def _run_standalone(
-        self,
-        plan: UoIPlan,
-        stage: str,
-        chains: list[list[Subproblem]],
-        hooks: HookList,
-    ) -> dict[str, Payload]:
-        from repro.simmpi.executor import SpmdError, run_spmd
-        from repro.simmpi.machine import LAPTOP
-
-        recovered_by_chain: list[dict[str, Payload]] = []
-        pending: list[int] = []
-        for ci, chain in enumerate(chains):
-            recovered = _lookup_chain(chain, hooks)
-            recovered_by_chain.append(recovered)
-            if len(recovered) < len(chain):
-                pending.append(ci)
-
-        computed: dict[str, Payload] = {}
-        if pending:
-            backend = self.name
-
-            def rank_program(comm: "SimComm") -> dict[str, Payload] | None:
-                out: dict[str, Payload] = {}
-
-                def emit(task: Subproblem, payload: Payload) -> None:
-                    out[task.key] = payload
-
-                for ci in pending:
-                    if ci % comm.size != comm.rank:
-                        continue
-                    chain = chains[ci]
-                    try:
-                        plan.run_chain(
-                            stage, chain, recovered_by_chain[ci], emit
-                        )
-                    except BaseException as exc:
-                        annotate_failure(exc, backend, stage, chain)
-                        raise
-                gathered = comm.gather(out, root=0)
-                if comm.rank != 0:
-                    return None
-                merged: dict[str, Payload] = {}
-                for part in gathered:
-                    merged.update(part)
-                return merged
-
-            res = run_spmd(
-                self.nranks,
-                rank_program,
-                machine=self.machine if self.machine is not None else LAPTOP,
-            )
-            if res.failed_ranks:
-                raise SpmdError(sorted(res.failed_ranks.items()))
-            computed = res.values[0]
-
-        results: dict[str, Payload] = {}
-        for ci, chain in enumerate(chains):
-            recovered = recovered_by_chain[ci]
-            for task in chain:
-                if task.key in recovered:
-                    results[task.key] = recovered[task.key]
-                    hooks.on_subproblem_done(
-                        task, recovered[task.key], recovered=True
-                    )
-                else:
-                    results[task.key] = computed[task.key]
-                    hooks.on_subproblem_done(
-                        task, computed[task.key], recovered=False
-                    )
         return results
 
 

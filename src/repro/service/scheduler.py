@@ -31,11 +31,11 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.engine import EngineHook, make_executor, run_plan
+from repro.engine import BACKEND_ALIASES, EngineHook, make_executor, run_plan
 from repro.engine.plan import Subproblem
 from repro.service.batch import BatchPlan
 from repro.service.jobs import (
@@ -51,6 +51,7 @@ from repro.service.jobs import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import Executor
     from repro.service.store import ReplicatedResultsStore
     from repro.telemetry.recorder import Recorder
 
@@ -131,6 +132,15 @@ class Scheduler:
     verify:
         Wrap executors in plan verification
         (:class:`~repro.engine.executors.VerifyingExecutor`).
+    executor_factory:
+        Optional ``backend_name -> Executor`` override.  The default
+        builds a fresh in-process executor per run via
+        :func:`~repro.engine.make_executor`, except ``elastic`` (or
+        its ``processpool-elastic`` alias), which resolves to the
+        process-wide shared worker fleet
+        (:func:`~repro.engine.elastic.shared_elastic_executor`) so
+        jobs scale out to out-of-process workers without paying a
+        fleet spawn per batch.
     """
 
     def __init__(
@@ -142,6 +152,7 @@ class Scheduler:
         store: "ReplicatedResultsStore | None" = None,
         recorder: "Recorder | None" = None,
         verify: bool = False,
+        executor_factory: "Callable[[str], Executor] | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -152,6 +163,7 @@ class Scheduler:
         self.store = store
         self.recorder = recorder
         self.verify = verify
+        self.executor_factory = executor_factory
         self._cv = threading.Condition()
         self._queue: list[Job] = []
         self._started_per_tenant: dict[str, int] = {}
@@ -295,6 +307,28 @@ class Scheduler:
                     self._gauge("service.running_jobs", self._running)
 
     # --------------------------------------------------------- execution
+    def _make_executor(self, backend: str) -> "Executor":
+        """Executor for one batch run (see ``executor_factory``).
+
+        The elastic backend shares one process-wide worker fleet
+        across all jobs and worker threads: runs serialize on the
+        fleet's lock, but workers joining or leaving mid-job scale
+        every queued tenant up or down at once.
+        """
+        if self.executor_factory is not None:
+            executor = self.executor_factory(backend)
+        elif BACKEND_ALIASES.get(backend, backend) == "elastic":
+            from repro.engine.elastic import shared_elastic_executor
+
+            executor = shared_elastic_executor()
+        else:
+            return make_executor(backend, verify=self.verify)
+        if self.verify:
+            from repro.engine.executors import VerifyingExecutor
+
+            executor = VerifyingExecutor(executor)
+        return executor
+
     def _run_batch(self, batch: list[Job]) -> None:
         solo = len(batch) == 1
         plan = BatchPlan([(job.id, job.plan) for job in batch])
@@ -306,7 +340,7 @@ class Scheduler:
         if not solo:
             self._count("service.batched_jobs", len(batch))
         try:
-            executor = make_executor(backend, verify=self.verify)
+            executor = self._make_executor(backend)
             outputs = run_plan(plan, executor, [hook])
         except JobCancelled:
             self._finish(batch[0], CANCELLED)

@@ -20,7 +20,6 @@ bitwise identical to a direct ``UoILasso.fit`` / ``UoIVar.fit``.
 
 from __future__ import annotations
 
-import base64
 import dataclasses
 import json
 import socket
@@ -40,6 +39,19 @@ from repro.service.jobs import (
 )
 from repro.service.service import Service
 
+# The ndarray codec and typed error mapping are shared with the
+# elastic worker transport (repro.engine.elastic) via repro.wire —
+# one codec, so the two line-JSON protocols can never drift.
+from repro.wire import (
+    decode_array,
+    decode_arrays as _decode_arrays,
+    encode_array,
+    encode_arrays as _encode_arrays,
+    error_map,
+    error_to_wire,
+    raise_from_wire,
+)
+
 __all__ = [
     "ServiceServer",
     "SocketServiceClient",
@@ -48,35 +60,6 @@ __all__ = [
     "config_from_wire",
     "run_demo",
 ]
-
-
-# ---------------------------------------------------------------------------
-# wire encoding
-# ---------------------------------------------------------------------------
-def encode_array(arr: np.ndarray) -> dict:
-    """ndarray -> JSON-safe dict (base64 raw bytes: bitwise round-trip)."""
-    # NOT ascontiguousarray: it promotes 0-d arrays to 1-d, and
-    # tobytes() already emits C order for any layout.
-    arr = np.asarray(arr)
-    return {
-        "__ndarray__": base64.b64encode(arr.tobytes()).decode("ascii"),
-        "dtype": str(arr.dtype),
-        "shape": list(arr.shape),
-    }
-
-
-def decode_array(obj: dict) -> np.ndarray:
-    buf = base64.b64decode(obj["__ndarray__"])
-    arr = np.frombuffer(buf, dtype=np.dtype(obj["dtype"]))
-    return arr.reshape(tuple(obj["shape"])).copy()
-
-
-def _encode_arrays(arrays: Mapping[str, np.ndarray]) -> dict:
-    return {name: encode_array(np.asarray(a)) for name, a in arrays.items()}
-
-
-def _decode_arrays(obj: Mapping[str, dict]) -> dict[str, np.ndarray]:
-    return {name: decode_array(enc) for name, enc in obj.items()}
 
 
 def config_from_wire(kind: str, cfg: Mapping[str, Any] | None) -> Any:
@@ -163,13 +146,7 @@ class ServiceServer:
                 pass  # client went away mid-stream
             except Exception as exc:  # noqa: BLE001 - wire boundary
                 try:
-                    send(
-                        {
-                            "ok": False,
-                            "error": type(exc).__name__,
-                            "message": str(exc),
-                        }
-                    )
+                    send(error_to_wire(exc))
                 except OSError:
                     pass
 
@@ -248,14 +225,11 @@ class SocketServiceClient:
     other calls.
     """
 
-    #: Exceptions re-raised by error type name from the wire.
-    _ERRORS: dict[str, type[Exception]] = {
-        "AdmissionError": AdmissionError,
-        "UnknownJobError": UnknownJobError,
-        "JobCancelled": JobCancelled,
-        "TimeoutError": TimeoutError,
-        "RuntimeError": RuntimeError,
-    }
+    #: Exceptions re-raised by error type name from the wire
+    #: (the shared defaults plus the service's own types).
+    _ERRORS: dict[str, type[Exception]] = error_map(
+        AdmissionError, UnknownJobError, JobCancelled
+    )
 
     def __init__(self, host: str, port: int, *, timeout: float = 120.0) -> None:
         self.host = host
@@ -268,8 +242,7 @@ class SocketServiceClient:
         )
 
     def _raise(self, response: dict) -> None:
-        exc_type = self._ERRORS.get(response.get("error", ""), RuntimeError)
-        raise exc_type(response.get("message", "service error"))
+        raise_from_wire(response, self._ERRORS)
 
     def _call(self, request: dict) -> dict:
         with self._connect() as conn:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 from types import TracebackType
-from typing import Any, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping
 
 import numpy as np
 
@@ -38,6 +38,9 @@ from repro.service.scheduler import Scheduler
 from repro.service.store import ReplicatedResultsStore
 from repro.telemetry.recorder import Recorder
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import Executor
+
 __all__ = ["Service", "ServiceClient"]
 
 
@@ -46,8 +49,12 @@ class Service:
 
     Parameters
     ----------
-    workers / batching / max_batch / verify:
+    workers / batching / max_batch / verify / executor_factory:
         Forwarded to :class:`~repro.service.scheduler.Scheduler`.
+        Jobs submitted with ``backend="elastic"`` (or
+        ``"processpool-elastic"``) run on the process-wide shared
+        out-of-process worker fleet unless ``executor_factory``
+        overrides the mapping.
     store_root:
         Directory for a :class:`ReplicatedResultsStore`; ``None``
         disables durability (an explicit ``store`` instance wins).
@@ -66,6 +73,7 @@ class Service:
         store: ReplicatedResultsStore | None = None,
         recorder: Recorder | None = None,
         verify: bool = False,
+        executor_factory: Callable[[str], "Executor"] | None = None,
     ) -> None:
         if store is None and store_root is not None:
             store = ReplicatedResultsStore(store_root)
@@ -78,6 +86,7 @@ class Service:
             store=store,
             recorder=self.recorder,
             verify=verify,
+            executor_factory=executor_factory,
         )
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}

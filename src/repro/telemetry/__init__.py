@@ -33,7 +33,9 @@ from repro.telemetry.recorder import (
     Span,
     count,
     current_recorder,
+    export_snapshot,
     gauge,
+    merge_snapshot,
     span,
     use_recorder,
 )
@@ -53,6 +55,8 @@ __all__ = [
     "span",
     "count",
     "gauge",
+    "export_snapshot",
+    "merge_snapshot",
     "TelemetryHook",
     "StageStats",
     "chrome_trace",

@@ -262,3 +262,48 @@ def gauge(name: str, value: float) -> None:
     rec = _current.get()
     if rec is not None:
         rec.gauge(name, value)
+
+
+# ---------------------------------------------------------------------------
+# cross-process shipping (worker-side telemetry back to the coordinator)
+# ---------------------------------------------------------------------------
+def export_snapshot(recorder: Recorder) -> dict:
+    """A recorder's contents as one picklable dict.
+
+    The engine's out-of-process transports run ``run_chain`` in worker
+    processes, where instrumentation sites feed a per-chain recorder;
+    this snapshot travels back with the chain's results and is folded
+    into the parent run's recorder by :func:`merge_snapshot`.
+    """
+    with recorder._lock:
+        return {
+            "spans": [
+                (s.name, s.category, s.start, s.end, dict(s.attrs))
+                for s in recorder.spans
+            ],
+            "counters": {n: c.value for n, c in recorder.counters.items()},
+            "gauges": {n: g.value for n, g in recorder.gauges.items()},
+        }
+
+
+def merge_snapshot(recorder: Recorder, snapshot: dict) -> None:
+    """Fold a worker recorder's :func:`export_snapshot` into ``recorder``.
+
+    Counters add and gauges overwrite (callers merge chains in
+    deterministic order, so last-write is well defined).  A worker's
+    clock epoch is unrelated to ours, so spans are re-based to end at
+    ``recorder.now()`` — durations, relative order and categories (the
+    breakdown and summary currency) are preserved exactly; absolute
+    placement on the parent timeline is presentational.
+    """
+    spans = snapshot.get("spans", ())
+    if spans:
+        offset = recorder.now() - max(end for _, _, _, end, _ in spans)
+        for name, category, start, end, attrs in spans:
+            recorder.add_span(
+                name, category, start + offset, end + offset, **attrs
+            )
+    for name, value in snapshot.get("counters", {}).items():
+        recorder.count(name, value)
+    for name, value in snapshot.get("gauges", {}).items():
+        recorder.gauge(name, value)

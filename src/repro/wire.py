@@ -1,0 +1,194 @@
+"""Shared line-JSON wire helpers: ndarray codec, blobs, typed errors.
+
+Both socket protocols in this repo — the service front end
+(:mod:`repro.service.server`) and the elastic worker transport
+(:mod:`repro.engine.elastic`) — speak one-JSON-object-per-line frames.
+This module is their single codec so the two can never drift:
+
+* :func:`encode_array` / :func:`decode_array` — ndarrays cross the
+  wire as ``{"__ndarray__": <base64 raw bytes>, "dtype", "shape"}``;
+  raw-byte base64 means the round trip is **bitwise** (the transport
+  never rounds through text floats, which is what keeps service and
+  elastic-backend results bit-identical to direct fits).
+* :func:`encode_arrays` / :func:`decode_arrays` — ``{name: array}``
+  tables (result payloads), and :func:`encode_payload_table` /
+  :func:`decode_payload_table` for the engine's nested
+  ``{subproblem key: {name: array}}`` recovered/partial tables.
+* :func:`encode_blob` / :func:`decode_blob` — base64-pickle escape
+  hatch for Python objects with no JSON shape (engine plans crossing
+  to elastic workers, exception objects carried back).  Only ever
+  exchanged between processes of one trusted local run.
+* Typed error mapping — :func:`error_to_wire` turns an exception into
+  the canonical ``{"ok": false, "error": <type name>, "message"}``
+  frame and :func:`raise_from_wire` re-raises it on the client side
+  through an explicit name→class map (:func:`error_map`).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+from typing import Any, Mapping, NoReturn
+
+import numpy as np
+
+__all__ = [
+    "encode_array",
+    "decode_array",
+    "encode_arrays",
+    "decode_arrays",
+    "encode_payload_table",
+    "decode_payload_table",
+    "encode_blob",
+    "decode_blob",
+    "error_map",
+    "error_to_wire",
+    "raise_from_wire",
+    "LineChannel",
+]
+
+
+# ---------------------------------------------------------------------------
+# ndarray codec
+# ---------------------------------------------------------------------------
+def encode_array(arr: np.ndarray) -> dict:
+    """ndarray -> JSON-safe dict (base64 raw bytes: bitwise round-trip)."""
+    # NOT ascontiguousarray: it promotes 0-d arrays to 1-d, and
+    # tobytes() already emits C order for any layout.
+    arr = np.asarray(arr)
+    return {
+        "__ndarray__": base64.b64encode(arr.tobytes()).decode("ascii"),
+        "dtype": str(arr.dtype),
+        "shape": list(arr.shape),
+    }
+
+
+def decode_array(obj: Mapping[str, Any]) -> np.ndarray:
+    buf = base64.b64decode(obj["__ndarray__"])
+    arr = np.frombuffer(buf, dtype=np.dtype(obj["dtype"]))
+    return arr.reshape(tuple(obj["shape"])).copy()
+
+
+def encode_arrays(arrays: Mapping[str, np.ndarray]) -> dict:
+    """``{name: array}`` -> JSON-safe dict of encoded arrays."""
+    return {name: encode_array(np.asarray(a)) for name, a in arrays.items()}
+
+
+def decode_arrays(obj: Mapping[str, Mapping[str, Any]]) -> dict[str, np.ndarray]:
+    return {name: decode_array(enc) for name, enc in obj.items()}
+
+
+def encode_payload_table(
+    table: Mapping[str, Mapping[str, np.ndarray]],
+) -> dict:
+    """Nested ``{subproblem key: {name: array}}`` table -> JSON-safe."""
+    return {key: encode_arrays(payload) for key, payload in table.items()}
+
+
+def decode_payload_table(
+    obj: Mapping[str, Mapping[str, Mapping[str, Any]]],
+) -> dict[str, dict[str, np.ndarray]]:
+    return {key: decode_arrays(payload) for key, payload in obj.items()}
+
+
+# ---------------------------------------------------------------------------
+# pickle blobs (plans, exceptions)
+# ---------------------------------------------------------------------------
+def encode_blob(obj: object) -> str:
+    """Arbitrary Python object -> base64 pickle string.
+
+    For trusted same-run process pairs only (coordinator ↔ spawned
+    worker); never applied to frames from outside the run.
+    """
+    return base64.b64encode(pickle.dumps(obj)).decode("ascii")
+
+
+def decode_blob(data: str) -> Any:
+    return pickle.loads(base64.b64decode(data))
+
+
+# ---------------------------------------------------------------------------
+# typed errors
+# ---------------------------------------------------------------------------
+#: Error names every wire peer understands without registration.
+_DEFAULT_ERRORS: dict[str, type[Exception]] = {
+    "TimeoutError": TimeoutError,
+    "RuntimeError": RuntimeError,
+}
+
+
+def error_map(*extra: type[Exception]) -> dict[str, type[Exception]]:
+    """Name -> class map for :func:`raise_from_wire`.
+
+    Starts from the defaults (``TimeoutError``, ``RuntimeError`` — the
+    latter doubling as the fallback) and adds each ``extra`` class
+    under its ``__name__``.
+    """
+    errors = dict(_DEFAULT_ERRORS)
+    errors.update({exc_type.__name__: exc_type for exc_type in extra})
+    return errors
+
+
+def error_to_wire(exc: BaseException) -> dict:
+    """Exception -> canonical ``{"ok": false, ...}`` error frame."""
+    return {"ok": False, "error": type(exc).__name__, "message": str(exc)}
+
+
+def raise_from_wire(
+    response: Mapping[str, Any],
+    errors: Mapping[str, type[Exception]] | None = None,
+) -> NoReturn:
+    """Re-raise a wire error frame as a typed exception.
+
+    The frame's ``error`` name is looked up in ``errors`` (default:
+    the built-in map); unknown names degrade to ``RuntimeError`` so a
+    newer server never crashes an older client with a ``KeyError``.
+    """
+    table = _DEFAULT_ERRORS if errors is None else errors
+    exc_type = table.get(str(response.get("error", "")), RuntimeError)
+    raise exc_type(str(response.get("message", "wire error")))
+
+
+# ---------------------------------------------------------------------------
+# line-JSON channel
+# ---------------------------------------------------------------------------
+class LineChannel:
+    """One-JSON-object-per-line framing over a connected socket.
+
+    Used by the elastic worker protocol on both ends; reads and writes
+    are independently locked-free (the caller serializes writes if it
+    shares a channel across threads).  ``recv`` returns ``None`` at
+    EOF — a peer departure, not an error.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._rfile = sock.makefile("r", encoding="utf-8")
+        self._wfile = sock.makefile("w", encoding="utf-8")
+
+    def send(self, obj: Mapping[str, Any]) -> None:
+        try:
+            self._wfile.write(json.dumps(obj) + "\n")
+            self._wfile.flush()
+        except ValueError as exc:
+            # io raises ValueError("write to closed file") when another
+            # thread closed the channel mid-send; surface it as the
+            # connection error it is so peers handle one shape.
+            raise BrokenPipeError(str(exc)) from exc
+
+    def recv(self) -> dict | None:
+        while True:
+            line = self._rfile.readline()
+            if not line:
+                return None
+            if line.strip():
+                return json.loads(line)
+
+    def close(self) -> None:
+        for closer in (self._rfile.close, self._wfile.close, self._sock.close):
+            try:
+                closer()
+            except OSError:  # pragma: no cover - already closed
+                pass

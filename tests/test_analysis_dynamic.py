@@ -278,3 +278,33 @@ class TestBitwiseIdentity:
         assert len(checker) == 0
         assert np.array_equal(plain["coef"], checked["coef"])
         assert np.array_equal(plain["supports"], checked["supports"])
+
+
+class TestLeaseStall:
+    def test_on_lease_stall_emits_dyn205(self):
+        checker = DynamicChecker()
+        checker.on_lease_stall(
+            {"ew1": "chain 2 [est/k0] leased to ew1"},
+            "no progress within 0.2s",
+        )
+        findings = checker.findings_for("DYN205")
+        assert len(findings) == 1
+        f = findings[0]
+        assert "worker-lease stall" in f.message
+        assert "ew1" in f.message
+        assert f.context["stalled"] == {
+            "ew1": "chain 2 [est/k0] leased to ew1"
+        }
+
+    def test_empty_fleet_stall_message(self):
+        checker = DynamicChecker()
+        checker.on_lease_stall({}, "no workers ever joined")
+        (finding,) = checker.findings_for("DYN205")
+        assert "no workers registered" in finding.message
+
+    def test_rule_registered(self):
+        from repro.analysis.rules import get_rule
+
+        rule = get_rule("DYN205")
+        assert rule.name == "worker-lease-stall"
+        assert rule.severity == "error"

@@ -345,3 +345,74 @@ class TestRepoGate:
         # The acceptance gate: the static PLAN lint over engine+core
         # plus verify_plan over the reference driver plans is clean.
         assert run_plan_checks() == []
+
+
+class TestLeaseDisjointness:
+    """PLAN405: runtime lease tables must partition outstanding work."""
+
+    @staticmethod
+    def _lease(chain_index, keys, worker, speculative=False):
+        return SimpleNamespace(
+            chain_index=chain_index,
+            keys=tuple(keys),
+            worker=worker,
+            speculative=speculative,
+        )
+
+    def test_disjoint_leases_clean(self):
+        from repro.analysis.planver import verify_lease_disjointness
+
+        leases = [
+            self._lease(0, ["sel/k0", "sel/k1"], "w0"),
+            self._lease(1, ["sel/k2"], "w1"),
+        ]
+        assert verify_lease_disjointness(leases) == []
+
+    def test_double_primary_flagged(self):
+        from repro.analysis.planver import verify_lease_disjointness
+
+        leases = [
+            self._lease(0, ["sel/k0"], "w0"),
+            self._lease(0, ["sel/k0"], "w1"),
+        ]
+        findings = verify_lease_disjointness(leases)
+        assert [f.rule for f in findings] == ["PLAN405"]
+        assert "double-primary" in findings[0].message
+        assert findings[0].file == "<coordinator>"
+
+    def test_cross_chain_overlap_flagged_even_speculative(self):
+        from repro.analysis.planver import verify_lease_disjointness
+
+        leases = [
+            self._lease(0, ["sel/k0"], "w0"),
+            self._lease(1, ["sel/k0"], "w1", speculative=True),
+        ]
+        findings = verify_lease_disjointness(leases)
+        assert [f.rule for f in findings] == ["PLAN405"]
+        assert "cross-chain" in findings[0].message
+
+    def test_same_chain_speculative_duplicate_exempt(self):
+        from repro.analysis.planver import verify_lease_disjointness
+
+        leases = [
+            self._lease(0, ["sel/k0"], "w0"),
+            self._lease(0, ["sel/k0"], "w1", speculative=True),
+        ]
+        assert verify_lease_disjointness(leases) == []
+
+    def test_assert_raises_with_rule_id(self):
+        from repro.analysis.planver import assert_disjoint_leases
+
+        leases = [
+            self._lease(0, ["sel/k0"], "w0"),
+            self._lease(1, ["sel/k0"], "w1"),
+        ]
+        with pytest.raises(PlanVerificationError, match="PLAN405"):
+            assert_disjoint_leases(leases)
+
+    def test_rule_registered(self):
+        from repro.analysis.rules import get_rule
+
+        rule = get_rule("PLAN405")
+        assert rule.name == "lease-disjointness"
+        assert rule.severity == "error"

@@ -246,9 +246,17 @@ class TestHookListOrdering:
 
 class TestBackendRegistry:
     def test_backends_have_descriptions(self):
-        assert set(BACKENDS) == {"serial", "multiprocess", "simmpi"}
+        assert set(BACKENDS) == {"serial", "multiprocess", "simmpi", "elastic"}
         for factory, desc in BACKENDS.values():
             assert isinstance(desc, str) and desc
+
+    def test_backend_aliases(self):
+        from repro.engine import BACKEND_ALIASES
+
+        assert BACKEND_ALIASES == {"processpool-elastic": "elastic"}
+        for alias, target in BACKEND_ALIASES.items():
+            assert alias not in BACKENDS
+            assert target in BACKENDS
 
     def test_make_executor_rejects_unknown(self):
         with pytest.raises(ValueError, match="unknown engine backend"):

@@ -268,7 +268,8 @@ class TestExport:
         tel, paths = exported
         man = read_manifest(paths[0])
         assert man["run"]["kind"] == "serial_uoi_lasso"
-        assert man["run"]["backend"] == "serial"
+        # backend follows REPRO_ENGINE_BACKEND; roundtrip = matches hook
+        assert man["run"]["backend"] == tel.backend
         assert man["run"]["schema"] == 1
         # every recorded span appears in the manifest
         assert len(man["spans"]) == len(tel.recorder.spans)

@@ -1,0 +1,153 @@
+"""Shared wire codec: bitwise ndarray round-trips, blobs, typed errors.
+
+Both socket protocols (service front end and elastic workers) ride
+this one codec; its headline property is that arrays survive the trip
+**bitwise**, which is what lets wire-served results be compared with
+``array_equal`` against direct fits.
+"""
+
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.wire import (
+    LineChannel,
+    decode_array,
+    decode_arrays,
+    decode_blob,
+    decode_payload_table,
+    encode_array,
+    encode_arrays,
+    encode_blob,
+    encode_payload_table,
+    error_map,
+    error_to_wire,
+    raise_from_wire,
+)
+
+
+class TestArrayCodec:
+    @pytest.mark.parametrize(
+        "arr",
+        [
+            np.arange(12, dtype=np.float64).reshape(3, 4),
+            np.array([np.nan, np.inf, -np.inf, -0.0]),
+            np.float64(3.14159) + np.zeros(()),  # 0-d stays 0-d
+            np.arange(6, dtype=np.int32),
+            np.zeros((0, 5)),
+            np.array([True, False]),
+        ],
+        ids=["2d", "nonfinite", "0d", "int32", "empty", "bool"],
+    )
+    def test_bitwise_round_trip(self, arr):
+        enc = encode_array(arr)
+        json.dumps(enc)  # frame must be JSON-serializable as-is
+        out = decode_array(enc)
+        assert out.dtype == np.asarray(arr).dtype
+        assert out.shape == np.asarray(arr).shape
+        assert out.tobytes() == np.asarray(arr).tobytes()
+
+    def test_fortran_order_normalizes_to_c(self):
+        arr = np.asfortranarray(np.arange(12, dtype=np.float64).reshape(3, 4))
+        out = decode_array(encode_array(arr))
+        assert np.array_equal(out, arr)
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_decoded_array_is_writable(self):
+        out = decode_array(encode_array(np.arange(3.0)))
+        out[0] = 99.0  # frombuffer views are read-only; decode must copy
+        assert out[0] == 99.0
+
+    def test_arrays_and_payload_tables(self):
+        payload = {"coef": np.arange(4.0), "loss": np.zeros(())}
+        table = {"sel/k0": payload, "sel/k1": {"coef": np.ones(2)}}
+        round_arrays = decode_arrays(encode_arrays(payload))
+        assert set(round_arrays) == {"coef", "loss"}
+        round_table = decode_payload_table(encode_payload_table(table))
+        assert set(round_table) == {"sel/k0", "sel/k1"}
+        assert np.array_equal(round_table["sel/k0"]["coef"], np.arange(4.0))
+
+
+class TestBlobs:
+    def test_round_trips_arbitrary_objects(self):
+        exc = RuntimeError("boom")
+        exc.add_note("engine backend=elastic stage=selection")
+        out = decode_blob(encode_blob(exc))
+        assert isinstance(out, RuntimeError)
+        assert str(out) == "boom"
+        assert out.__notes__ == ["engine backend=elastic stage=selection"]
+
+
+class TestTypedErrors:
+    def test_error_frame_shape(self):
+        frame = error_to_wire(TimeoutError("too slow"))
+        assert frame == {
+            "ok": False, "error": "TimeoutError", "message": "too slow",
+        }
+
+    def test_raise_from_wire_typed(self):
+        with pytest.raises(TimeoutError, match="too slow"):
+            raise_from_wire(error_to_wire(TimeoutError("too slow")))
+
+    def test_unknown_error_degrades_to_runtime(self):
+        with pytest.raises(RuntimeError, match="weird"):
+            raise_from_wire({"ok": False, "error": "Martian", "message": "weird"})
+
+    def test_error_map_extends_defaults(self):
+        class Custom(Exception):
+            pass
+
+        table = error_map(Custom)
+        assert table["Custom"] is Custom
+        assert table["RuntimeError"] is RuntimeError
+        with pytest.raises(Custom):
+            raise_from_wire(
+                {"ok": False, "error": "Custom", "message": "x"}, table
+            )
+
+
+class TestLineChannel:
+    def test_send_recv_and_eof(self):
+        server, client = socket.socketpair()
+        a, b = LineChannel(server), LineChannel(client)
+        try:
+            a.send({"op": "ping", "n": 1})
+            assert b.recv() == {"op": "ping", "n": 1}
+            b.send({"op": "pong"})
+            assert a.recv() == {"op": "pong"}
+            b.close()
+            assert a.recv() is None  # EOF is a departure, not an error
+        finally:
+            a.close()
+            b.close()
+
+    def test_concurrent_close_surfaces_as_connection_error(self):
+        """A channel closed by another thread mid-send must raise an
+        OSError (the one shape peers already handle), not io's
+        ValueError."""
+        server, client = socket.socketpair()
+        chan = LineChannel(server)
+        peer = LineChannel(client)
+        chan.close()
+        with pytest.raises(OSError):
+            chan.send({"op": "ping"})
+        peer.close()
+
+    def test_blank_lines_skipped(self):
+        server, client = socket.socketpair()
+        a, b = LineChannel(server), LineChannel(client)
+        try:
+            server.sendall(b"\n  \n")
+            a.send({"op": "real"})
+
+            got = []
+            reader = threading.Thread(target=lambda: got.append(b.recv()))
+            reader.start()
+            reader.join(5.0)
+            assert got == [{"op": "real"}]
+        finally:
+            a.close()
+            b.close()
