@@ -72,7 +72,13 @@ __all__ = [
 #: through hooks in deterministic chain order, so no clock value can
 #: reach plan arithmetic.  ``transports`` (the in-process
 #: serial/multiprocess/simmpi worker shims) deliberately stays
-#: scanned: it calls straight into plan code.
+#: scanned: it calls straight into plan code.  ``stream`` is the
+#: live-data layer: ingestion timestamps, buffer timeouts, socket
+#: reads and per-window wall-clock seconds are its *job* — they pace
+#: and annotate the rolling loop, while every number in a window's
+#: result comes out of the ``VarPlan`` it builds, which stays inside
+#: the taint pass (and is asserted bitwise-equal to a cold batch fit
+#: under ``StreamConfig(verify=True)``).
 EXCLUDED_SUBPACKAGES: tuple[str, ...] = (
     "telemetry",
     "simmpi",
@@ -81,6 +87,7 @@ EXCLUDED_SUBPACKAGES: tuple[str, ...] = (
     "service",
     "coordinator",
     "elastic",
+    "stream",
 )
 
 #: Base class whose subclasses carry the determinism contract.

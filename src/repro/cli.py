@@ -51,6 +51,14 @@ Subcommands
     ``--format human|json|sarif`` selects the stdout rendering, ``-o``
     additionally writes findings JSON (the CI artifact), and
     ``--sarif-out`` writes SARIF 2.1.0 for GitHub code scanning.
+``stream run|replay|diff ...``
+    Online Granger networks: ``run`` drives a rolling warm-started
+    UoI_VAR fit over a live tick source (synthetic spike rates, the
+    finance-panel replay, or a line-JSON socket feed), printing one
+    line per fitted window and recording JSONL change events with
+    ``--events``; ``replay`` renders a recorded event log as a
+    per-window table; ``diff`` compares the Granger networks of any
+    two recorded windows offline.
 ``trace record|summary|chrome|diff|validate ...``
     Telemetry tooling: ``record`` runs small telemetry-enabled fits
     and exports their manifests + Chrome traces; ``summary`` renders a
@@ -330,6 +338,83 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also write findings as SARIF 2.1.0 to FILE (GitHub "
         "code-scanning upload)",
+    )
+
+    stream = sub.add_parser(
+        "stream", help="online Granger networks over live tick streams"
+    )
+    ssub = stream.add_subparsers(dest="stream_command", required=True)
+
+    srun = ssub.add_parser(
+        "run", help="rolling warm-started UoI_VAR fit over a tick source"
+    )
+    srun.add_argument(
+        "--source", choices=["spikes", "finance", "socket"], default="spikes",
+        help="tick source: synthetic spike rates, finance-panel "
+        "replay, or a line-JSON socket feed",
+    )
+    srun.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="socket source address (with --source socket)",
+    )
+    srun.add_argument("--p", type=int, default=8, help="series dimension")
+    srun.add_argument("--seed", type=int, default=0, help="source seed")
+    srun.add_argument(
+        "--ticks", type=int, default=None,
+        help="stop the source after this many ticks",
+    )
+    srun.add_argument("--order", type=int, default=1, help="VAR order d")
+    srun.add_argument(
+        "--window", type=int, default=80, help="sliding window capacity"
+    )
+    srun.add_argument(
+        "--cadence", type=int, default=5, help="ticks between re-fits"
+    )
+    srun.add_argument(
+        "--max-windows", type=int, default=4, help="stop after K windows"
+    )
+    srun.add_argument("--q", type=int, default=16, help="lambda grid size")
+    srun.add_argument(
+        "--b1", type=int, default=8, help="selection bootstraps B1"
+    )
+    srun.add_argument(
+        "--b2", type=int, default=5, help="estimation bootstraps B2"
+    )
+    srun.add_argument(
+        "--backend", default="serial",
+        help="engine backend (serial | multiprocess | simmpi | elastic)",
+    )
+    srun.add_argument(
+        "--cold", action="store_true",
+        help="disable cross-window warm starts (results are identical; "
+        "only the per-window cost changes)",
+    )
+    srun.add_argument(
+        "--verify", action="store_true",
+        help="re-fit every window cold on the serial backend and assert "
+        "bitwise-identical supports and coefficients",
+    )
+    srun.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="append per-window change events to this JSONL file",
+    )
+
+    sreplay = ssub.add_parser(
+        "replay", help="render a recorded event log as a per-window table"
+    )
+    sreplay.add_argument("events", help="events JSONL path (from run --events)")
+
+    sdiff = ssub.add_parser(
+        "diff", help="diff the networks of two recorded windows"
+    )
+    sdiff.add_argument("events", help="events JSONL path (from run --events)")
+    sdiff.add_argument(
+        "--base", type=int, default=None, metavar="W",
+        help="base window index (default: first recorded)",
+    )
+    sdiff.add_argument(
+        "--target", type=int, default=None, metavar="W",
+        help="target window index (default: last recorded)",
     )
 
     trace = sub.add_parser("trace", help="telemetry manifests and Chrome traces")
@@ -769,6 +854,153 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled trace command {args.trace_command!r}")
 
 
+def _stream_source(args: argparse.Namespace):
+    """Build the tick source for ``stream run``."""
+    from repro.stream import FinanceReplaySource, SocketSource, SpikeRateSource
+
+    if args.source == "spikes":
+        return SpikeRateSource(
+            args.p, order=args.order, seed=args.seed, max_ticks=args.ticks
+        )
+    if args.source == "finance":
+        n_days = (
+            5 * (args.ticks + 1) if args.ticks is not None else 504
+        )
+        return FinanceReplaySource(args.p, n_days=n_days, seed=args.seed)
+    if not args.connect or ":" not in args.connect:
+        raise SystemExit("--source socket requires --connect HOST:PORT")
+    host, port = args.connect.rsplit(":", 1)
+    return SocketSource.connect(host, int(port))
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.stream.diff import read_events
+
+    if args.stream_command == "run":
+        import numpy as np
+
+        from repro.core.config import UoILassoConfig, UoIVarConfig
+        from repro.engine import make_executor
+        from repro.stream import DiffLog, StreamConfig, run_rolling
+
+        config = StreamConfig(
+            var=UoIVarConfig(
+                order=args.order,
+                lasso=UoILassoConfig(
+                    n_lambdas=args.q,
+                    n_selection_bootstraps=args.b1,
+                    n_estimation_bootstraps=args.b2,
+                    solver="cd",
+                    # Generous sweep budget: warm/cold identity needs
+                    # every cd solve to reach tolerance, and sweeps on
+                    # ill-conditioned windows can crawl (cd counts full
+                    # sweeps, so this is a cap, not a cost).
+                    max_iter=20000,
+                    random_state=args.seed,
+                ),
+            ),
+            window=args.window,
+            cadence=args.cadence,
+            max_windows=args.max_windows,
+            warm=not args.cold,
+            verify=args.verify,
+        )
+
+        def on_window(fit) -> None:
+            d = fit.diff
+            change = (
+                "first network"
+                if d is None
+                else f"+{len(d.gained)}/-{len(d.lost)} edges  "
+                f"stability {d.stability:.2f}  drift {d.drift:.3f}"
+            )
+            mode = "warm" if fit.warm else "cold"
+            retry = f"  retries {fit.retries}" if fit.retries else ""
+            stuck = (
+                f"  NONCONVERGED {fit.nonconverged} (raise max_iter)"
+                if fit.nonconverged
+                else ""
+            )
+            print(
+                f"window {fit.index:3d}  t={fit.t_end:<6d} {mode}  "
+                f"{fit.seconds:6.2f}s  {change}{retry}{stuck}"
+            )
+
+        log = DiffLog(args.events) if args.events else None
+        executor = make_executor(args.backend)
+        try:
+            outputs = run_rolling(
+                _stream_source(args),
+                config,
+                executor=executor,
+                diff_log=log,
+                on_window=on_window,
+            )
+        finally:
+            if log is not None:
+                log.close()
+            shutdown = getattr(executor, "shutdown", None)
+            if shutdown is not None:
+                shutdown()
+        n_edges = int(np.count_nonzero(outputs.coef))
+        print(
+            f"fitted {len(outputs)} windows over {outputs.windows[-1].t_end} "
+            f"ticks; final network has {n_edges} edges"
+            + (f"; events -> {args.events}" if args.events else "")
+        )
+        if args.verify:
+            print(
+                "verify: every window bitwise-identical to a cold batch fit"
+            )
+        return 0
+
+    events = read_events(args.events)
+    if not events:
+        print(f"no events in {args.events}")
+        return 1
+
+    if args.stream_command == "replay":
+        print(f"{'window':>6} {'t_end':>7} {'edges':>6} {'+':>4} {'-':>4} "
+              f"{'stability':>9} {'drift':>8}")
+        for e in events:
+            print(
+                f"{e['window']:>6} {e.get('t_end', '-'):>7} "
+                f"{len(e.get('edges', [])):>6} "
+                f"{len(e.get('gained', [])):>4} {len(e.get('lost', [])):>4} "
+                f"{e.get('stability', float('nan')):>9.2f} "
+                f"{e.get('drift', float('nan')):>8.3f}"
+            )
+        return 0
+
+    # stream diff: compare any two recorded windows by their edge lists.
+    by_window = {e["window"]: e for e in events if "edges" in e}
+    if not by_window:
+        print("events carry no edge lists; re-record with stream run --events")
+        return 1
+    base_idx = args.base if args.base is not None else min(by_window)
+    target_idx = args.target if args.target is not None else max(by_window)
+    for idx in (base_idx, target_idx):
+        if idx not in by_window:
+            print(f"window {idx} not in event log (has {sorted(by_window)})")
+            return 1
+    base = {tuple(e) for e in by_window[base_idx]["edges"]}
+    target = {tuple(e) for e in by_window[target_idx]["edges"]}
+    union = base | target
+    stability = 1.0 if not union else len(base & target) / len(union)
+    print(
+        f"windows {base_idx} -> {target_idx}: {len(base)} -> {len(target)} "
+        f"edges, stability {stability:.2f}"
+    )
+    for label, edges in (
+        ("gained", sorted(target - base)),
+        ("lost", sorted(base - target)),
+    ):
+        print(f"  {label} ({len(edges)}):")
+        for lag, i, j in edges:
+            print(f"    {j} -> {i} @ lag {lag}")
+    return 0
+
+
 def _cmd_machine(name: str) -> int:
     machine = _MACHINES[name]
     print(f"machine model: {machine.name}")
@@ -800,6 +1032,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     if args.command == "trace":
         return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -18,6 +18,7 @@ analogous panel:
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,6 +28,7 @@ __all__ = [
     "make_stock_panel",
     "weekly_closes",
     "first_differences",
+    "iter_ticks",
     "sp50_tickers",
     "synthetic_tickers",
 ]
@@ -180,6 +182,37 @@ def weekly_closes(prices: np.ndarray, *, days_per_week: int = 5) -> np.ndarray:
         raise ValueError("not enough days for one week")
     idx = np.arange(1, n_weeks + 1) * days_per_week - 1
     return prices[idx]
+
+
+def iter_ticks(
+    n_companies: int = 50,
+    *,
+    n_days: int = 504,
+    days_per_week: int = 5,
+    seed: int = 0,
+    **panel_kwargs,
+) -> Iterator[np.ndarray]:
+    """Replay a seeded stock panel as a stream of weekly-return rows.
+
+    The streaming analogue of the Fig.-11 preprocessing: generate the
+    panel with ``default_rng(seed)``, aggregate to weekly closes, first
+    difference, then yield one ``(n_companies,)`` row per week in
+    order.  The concatenation of all yielded rows equals
+    ``first_differences(weekly_closes(panel.prices))`` for the same
+    seed, bitwise, so a stream consumer can be checked against the
+    batch pipeline exactly.  The replay is finite — it ends with the
+    panel (``n_days // days_per_week - 1`` rows).
+
+    Extra keyword arguments are forwarded to :func:`make_stock_panel`.
+    """
+    panel = make_stock_panel(
+        n_companies, n_days, rng=np.random.default_rng(seed), **panel_kwargs
+    )
+    series = first_differences(
+        weekly_closes(panel.prices, days_per_week=days_per_week)
+    )
+    for row in series:
+        yield row.copy()
 
 
 def first_differences(series: np.ndarray) -> np.ndarray:

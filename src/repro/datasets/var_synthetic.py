@@ -9,6 +9,7 @@ process is stable by construction) and simulate the series.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 import numpy as np
@@ -19,6 +20,7 @@ __all__ = [
     "random_sparse_coefs",
     "make_sparse_var",
     "SparseVAR",
+    "iter_ticks",
     "features_for_gigabytes",
 ]
 
@@ -124,6 +126,45 @@ def make_sparse_var(
     proc = VARProcess(coefs, noise_cov=noise_std**2 * np.eye(p))
     series = proc.simulate(n_samples, rng)
     return SparseVAR(process=proc, series=series, support=proc.support())
+
+
+def iter_ticks(
+    p: int,
+    *,
+    order: int = 1,
+    density: float = 0.1,
+    target_radius: float = 0.7,
+    noise_std: float = 1.0,
+    seed: int = 0,
+    burn_in: int = 200,
+) -> Iterator[np.ndarray]:
+    """Endless stream of samples from a seeded sparse stable VAR.
+
+    The streaming analogue of :func:`make_sparse_var`: the coefficient
+    draw and the per-step noise come from one ``default_rng(seed)``
+    stream consumed in the same order as ``VARProcess.simulate``, so
+    the first ``n`` ticks equal a length-``n`` batch simulation with
+    the same seed, bitwise — stream consumers and batch fits can be
+    cross-checked exactly.  Each yielded row is a fresh ``(p,)`` array
+    owned by the caller.
+    """
+    if burn_in < 0:
+        raise ValueError("burn_in must be >= 0")
+    rng = np.random.default_rng(seed)
+    coefs = random_sparse_coefs(
+        p, order, density=density, target_radius=target_radius, rng=rng
+    )
+    proc = VARProcess(coefs, noise_cov=noise_std**2 * np.eye(p))
+    window = np.zeros((order, p))  # window[j] = X_{t-1-j}
+    t = 0
+    while True:
+        x = proc.intercept + rng.standard_normal(p) @ proc._chol.T
+        for j in range(order):
+            x = x + proc.coefs[j] @ window[j]
+        window = np.vstack([x, window[:-1]])
+        t += 1
+        if t > burn_in:
+            yield x.copy()
 
 
 def features_for_gigabytes(gigabytes: float, *, order: int = 1) -> int:

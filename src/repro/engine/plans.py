@@ -103,15 +103,45 @@ def ols_family(
 
 
 def var_path_columns(
-    config: UoILassoConfig, X: np.ndarray, Y: np.ndarray, lambdas: np.ndarray
+    config: UoILassoConfig,
+    X: np.ndarray,
+    Y: np.ndarray,
+    lambdas: np.ndarray,
+    warm_paths: np.ndarray | None = None,
+    seeding: str = "path",
 ) -> np.ndarray:
     """Lifted λ-path via exact column decomposition: ``(q, kdim * p)``.
 
     Column ``c``'s coefficients occupy the slice
     ``[c * kdim, (c+1) * kdim)`` of ``vec B``.
+
+    Seeding — where each solve's iterate *starts* — never changes what
+    it converges to (every solve runs to the configured tolerances), so
+    all three modes below produce identical supports; only iteration
+    cost differs:
+
+    * ``seeding="path"`` (default): the classic warm-start chain — the
+      solve at λ index ``j`` starts from the ``j - 1`` solution.
+    * ``seeding="none"``: cold chains — every solve starts from zero.
+      This is the baseline the streaming benchmark charges against.
+    * ``warm_paths`` given — a previous ``(q, kdim * p)`` path for the
+      *same* bootstrap chain (the preceding window of a rolling fit):
+      the chain is seeded from the previous window and advanced by
+      *delta transport*: λ_0 starts from ``warm_paths[0]`` and λ_j
+      from ``beta_{j-1} + (warm_paths[j] - warm_paths[j-1])``, i.e.
+      the current chain state pushed along the previous window's path
+      step.  This is never worse than plain pathwise seeding (the
+      transported step is ~the same λ-to-λ move) while letting a
+      rolling fit inherit the previous window's solution geometry.
     """
     q = len(lambdas)
     kdim, p = X.shape[1], Y.shape[1]
+    if seeding not in ("path", "none"):
+        raise ValueError(f"unknown seeding mode {seeding!r}")
+    if warm_paths is not None and warm_paths.shape != (q, kdim * p):
+        raise ValueError(
+            f"warm_paths shape {warm_paths.shape} != ({q}, {kdim * p})"
+        )
     out = np.empty((q, kdim * p))
     solver = None
     gram_cache = None
@@ -133,24 +163,34 @@ def var_path_columns(
             reltol=config.reltol,
             adapt_rho=config.adapt_rho,
         )
+    def seed(
+        j: int, beta: np.ndarray | None, col: slice
+    ) -> np.ndarray | None:
+        if warm_paths is not None:
+            if j == 0 or beta is None:
+                return warm_paths[0, col]
+            return beta + (warm_paths[j, col] - warm_paths[j - 1, col])
+        return beta if seeding == "path" else None
+
     for c in range(p):
         yc = Y[:, c]
+        col = slice(c * kdim, (c + 1) * kdim)
         beta = None
         if config.solver == "admm":
             solver.set_response(yc)
             for j, lam in enumerate(lambdas):
-                res = solver.solve(float(lam), beta0=beta)
+                res = solver.solve(float(lam), beta0=seed(j, beta, col))
                 beta = res.beta
-                out[j, c * kdim : (c + 1) * kdim] = beta
+                out[j, col] = beta
         else:
             triple = (gram_cache[0], X.T @ yc, gram_cache[1])
             for j, lam in enumerate(lambdas):
                 beta = lasso_cd(
-                    X, yc, float(lam), beta0=beta,
+                    X, yc, float(lam), beta0=seed(j, beta, col),
                     max_iter=config.max_iter, tol=config.cd_tol,
                     precomputed=triple,
                 )
-                out[j, c * kdim : (c + 1) * kdim] = beta
+                out[j, col] = beta
     return out
 
 
@@ -327,7 +367,44 @@ class VarPlan(UoIPlan):
 
     kind = "serial_uoi_var"
 
-    def __init__(self, config: UoIVarConfig, series: np.ndarray) -> None:
+    def __init__(
+        self,
+        config: UoIVarConfig,
+        series: np.ndarray,
+        *,
+        warm_start: dict[int, np.ndarray] | None = None,
+        keep_paths: bool = False,
+        chain_seeding: str = "path",
+    ) -> None:
+        """Build the plan for ``series`` under ``config``.
+
+        Parameters
+        ----------
+        warm_start:
+            Optional seeding for the selection λ-sweeps: a mapping from
+            bootstrap index ``k`` to that chain's ``(q, kdim * p)``
+            coefficient path from a previous fit (see
+            ``selection_paths``), typically the preceding window of a
+            rolling stream fit.  Seeding moves solver starting points
+            only — every solve still runs to the configured tolerances,
+            so supports and final coefficients are bitwise what a cold
+            fit of the same ``series`` produces; only iteration cost
+            changes.  Chains without an entry fall back to the default
+            pathwise seeding.
+        keep_paths:
+            Harvest each selection chain's full coefficient path into
+            ``self.selection_paths`` during ``reduce`` (at the cost of
+            shipping ``(q, kdim * p)`` per chain through the result
+            payloads), so a subsequent plan can be warm-started from
+            this one.
+        chain_seeding:
+            Seeding mode for chains *without* a ``warm_start`` entry:
+            ``"path"`` (default, the classic pathwise warm-start chain)
+            or ``"none"`` (cold chains, every solve from zero — the
+            baseline leg of ``benchmarks/bench_stream.py``).
+        """
+        if chain_seeding not in ("path", "none"):
+            raise ValueError(f"unknown chain_seeding mode {chain_seeding!r}")
         lcfg = config.lasso
         Y, X = build_lag_matrices(
             series, config.order, add_intercept=config.fit_intercept
@@ -357,7 +434,22 @@ class VarPlan(UoIPlan):
             for _ in range(self.B2)
         ]
 
+        self.keep_paths = keep_paths
+        self.chain_seeding = chain_seeding
+        self.warm_start: dict[int, np.ndarray] = {}
+        if warm_start:
+            shape = (self.q, self.kdim * self.p)
+            for k, path in warm_start.items():
+                path = np.asarray(path, dtype=float)
+                if path.shape != shape:
+                    raise ValueError(
+                        f"warm_start[{k}] shape {path.shape} != {shape}"
+                    )
+                if 0 <= k < self.B1:
+                    self.warm_start[int(k)] = path
+
         self.family: np.ndarray | None = None
+        self.selection_paths: dict[int, np.ndarray] = {}
         self.outputs: PlanOutputs | None = None
 
     # -------------------------------------------------------------- API
@@ -375,6 +467,14 @@ class VarPlan(UoIPlan):
             "B2": lcfg.n_estimation_bootstraps,
             "random_state": lcfg.random_state,
             "intersection_frac": lcfg.intersection_frac,
+            # Seeding changes intermediate path iterates (never
+            # supports or coefficients), and keep_paths changes payload
+            # contents — either difference makes a checkpoint store
+            # non-interchangeable at the payload level, so all three
+            # are part of the plan identity.
+            "warm": sorted(self.warm_start),
+            "keep_paths": self.keep_paths,
+            "chain_seeding": self.chain_seeding,
         }
 
     def chains(self, stage: str) -> list[list[Subproblem]]:
@@ -400,8 +500,18 @@ class VarPlan(UoIPlan):
         k = task.bootstrap
         if stage == SELECTION:
             idx = self.selection_idx[k]
-            betas = var_path_columns(lcfg, self.X[idx], self.Y[idx], self.lambdas)
-            emit(task, {"masks": betas != 0.0})
+            betas = var_path_columns(
+                lcfg,
+                self.X[idx],
+                self.Y[idx],
+                self.lambdas,
+                warm_paths=self.warm_start.get(k),
+                seeding=self.chain_seeding,
+            )
+            payload = {"masks": betas != 0.0}
+            if self.keep_paths:
+                payload["betas"] = betas
+            emit(task, payload)
         else:
             train_idx, eval_idx = self.estimation_idx[k]
             est = ols_family_columns(
@@ -421,7 +531,10 @@ class VarPlan(UoIPlan):
         if stage == SELECTION:
             masks = np.empty((self.B1, self.q, self.kdim * self.p), dtype=bool)
             for k in range(self.B1):
-                masks[k] = results[f"serial-var-sel/k{k}"]["masks"]
+                rec = results[f"serial-var-sel/k{k}"]
+                masks[k] = rec["masks"]
+                if self.keep_paths and "betas" in rec:
+                    self.selection_paths[k] = np.asarray(rec["betas"], dtype=float)
             self.family = intersect_supports(masks, frac=lcfg.intersection_frac)
             return
         losses = np.empty((self.B2, self.q))

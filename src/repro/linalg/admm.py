@@ -60,6 +60,10 @@ class ADMMResult:
         triples, kept only when ``record_history=True`` was requested.
         Always a list — **empty** (never ``None``) when recording is
         off, so callers can iterate unconditionally.
+    dual:
+        ``(p,)`` final scaled dual variable ``u``; feed it back as
+        ``u0`` (with ``beta`` as ``beta0``) to warm-start a re-solve of
+        a nearby problem.
     """
 
     beta: np.ndarray
@@ -69,6 +73,7 @@ class ADMMResult:
     dual_residual: float
     objective: float
     history: list[tuple[float, float, float]] = field(default_factory=list)
+    dual: np.ndarray | None = None
 
 
 class LassoADMM:
@@ -218,6 +223,7 @@ class LassoADMM:
         lam: float,
         *,
         beta0: np.ndarray | None = None,
+        u0: np.ndarray | None = None,
         record_history: bool = False,
     ) -> ADMMResult:
         """Solve the LASSO at penalty ``lam`` (``lam = 0`` gives OLS).
@@ -229,6 +235,15 @@ class LassoADMM:
         beta0:
             Optional warm start for ``z`` (and ``x``); used when
             sweeping a decreasing λ path.
+        u0:
+            Optional warm start for the scaled dual ``u``.  ADMM's
+            convergence is governed by the dual as much as the primal,
+            so re-solving a problem close to one already solved (e.g.
+            the same λ on the next window of a rolling fit) converges
+            far faster when the previous ``(z, u)`` pair seeds both
+            variables; ``beta0`` alone restarts the dual from zero.
+            Like ``beta0`` this moves the starting point only — the
+            stopping tolerances decide the answer.
         record_history:
             Keep per-iteration residual norms in the result.
         """
@@ -238,7 +253,9 @@ class LassoADMM:
         z = np.zeros(p) if beta0 is None else np.asarray(beta0, dtype=float).copy()
         if z.shape != (p,):
             raise ValueError(f"beta0 shape {z.shape} != ({p},)")
-        u = np.zeros(p)
+        u = np.zeros(p) if u0 is None else np.asarray(u0, dtype=float).copy()
+        if u.shape != (p,):
+            raise ValueError(f"u0 shape {u.shape} != ({p},)")
         history: list[tuple[float, float, float]] = []
         rho = self.rho
         sqrtp = np.sqrt(p)
@@ -300,6 +317,7 @@ class LassoADMM:
             dual_residual=s_norm,
             objective=self.objective(z, lam),
             history=history,
+            dual=u,
         )
 
     def solve_path(self, lams: np.ndarray) -> list[ADMMResult]:

@@ -174,5 +174,11 @@ def lasso_cd(
     _tcount("cd.sweeps", max_iter - sweeps_left)
     if converged:
         _tcount("cd.converged")
+    else:
+        # The solve stopped where the sweep budget ran out, not at the
+        # tolerance — the returned point then depends on ``beta0``.
+        # Anything relying on start-independence (notably the streaming
+        # warm/cold identity) watches this counter.
+        _tcount("cd.nonconverged")
     _tgauge("cd.last_delta", delta)
     return beta

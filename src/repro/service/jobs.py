@@ -41,6 +41,7 @@ __all__ = [
     "UnknownJobError",
     "JobSpec",
     "Job",
+    "StreamJobPlan",
     "outputs_to_arrays",
 ]
 
@@ -52,8 +53,12 @@ FAILED = "failed"
 CANCELLED = "cancelled"
 TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
 
-#: Admissible estimator families.
-JOB_KINDS = ("lasso", "var")
+#: Admissible estimator families.  ``"stream"`` is the rolling-window
+#: UoI_VAR job: its series is replayed tick-by-tick through
+#: :func:`repro.stream.refit.run_rolling` (one engine plan *per
+#: window*, warm-started from the previous one) rather than fit as a
+#: single batch plan.
+JOB_KINDS = ("lasso", "var", "stream")
 
 
 class JobCancelled(RuntimeError):
@@ -119,9 +124,22 @@ class JobSpec:
             raise AdmissionError(
                 f"{self.kind} job is missing data array(s) {missing}"
             )
+        if self.kind == "stream" and self.config is not None:
+            from repro.stream.refit import StreamConfig
+
+            if not isinstance(self.config, StreamConfig):
+                raise AdmissionError(
+                    "stream job config must be a StreamConfig, got "
+                    f"{type(self.config).__name__}"
+                )
 
     def build_plan(self) -> UoIPlan:
-        """The exact engine plan a direct estimator fit would run."""
+        """The exact engine plan a direct estimator fit would run.
+
+        Stream jobs get a :class:`StreamJobPlan` stub instead: the
+        rolling run builds one real :class:`VarPlan` per window at
+        execution time, so admission only pins the window schedule.
+        """
         self.validate()
         from repro.engine.plans import LassoPlan, VarPlan
 
@@ -132,6 +150,10 @@ class JobSpec:
                     config,
                     np.asarray(self.data["X"]),
                     np.asarray(self.data["y"]),
+                )
+            if self.kind == "stream":
+                return StreamJobPlan(
+                    self.config, np.asarray(self.data["series"])
                 )
             config = self.config or UoIVarConfig()
             return VarPlan(config, np.asarray(self.data["series"]))
@@ -176,6 +198,60 @@ class JobSpec:
             for name in sorted(self.data)
         )
         return (self.kind, self.backend, shapes)
+
+
+class StreamJobPlan(UoIPlan):
+    """Lifecycle stub for a streaming job.
+
+    A stream job is not one engine run: the scheduler drives
+    :func:`repro.stream.refit.run_rolling`, which constructs (and
+    verifies, under ``verify``) one real
+    :class:`~repro.engine.plans.VarPlan` per window.  This stub exists
+    so the :class:`Job` machinery has a plan-shaped object at
+    admission: :meth:`describe` reports the window schedule as the
+    ``"stream"`` stage's subproblem total, which is what progress
+    snapshots count one-per-window against.
+    """
+
+    stages = ("stream",)
+    kind = "stream"
+
+    def __init__(self, config: Any, series: np.ndarray) -> None:
+        from repro.stream.refit import StreamConfig, expected_windows
+
+        series = np.asarray(series, dtype=float)
+        if series.ndim != 2:
+            raise AdmissionError(
+                f"stream job series must be 2-D, got shape {series.shape}"
+            )
+        self.config = config if config is not None else StreamConfig()
+        self.n_ticks, self.p = series.shape
+        self.n_windows = expected_windows(self.config, self.n_ticks)
+        if self.n_windows < 1:
+            raise AdmissionError(
+                f"stream job series is too short: {self.n_ticks} ticks "
+                f"never prime a {self.config.window}-sample window"
+            )
+
+    def meta(self) -> dict:
+        return {
+            "kind": "stream",
+            "n_ticks": self.n_ticks,
+            "p": self.p,
+            "windows": self.n_windows,
+            "window": self.config.window,
+            "cadence": self.config.cadence,
+            "warm": self.config.warm,
+        }
+
+    def describe(self) -> dict:
+        return {
+            "kind": "stream",
+            "stages": {
+                "stream": {"chains": 1, "subproblems": self.n_windows}
+            },
+            "subproblems": self.n_windows,
+        }
 
 
 def outputs_to_arrays(outputs: Any) -> dict[str, np.ndarray]:

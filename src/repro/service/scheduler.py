@@ -267,7 +267,13 @@ class Scheduler:
             ),
         )
         batch = [lead]
-        if self.batching and self.max_batch > 1:
+        # Stream jobs always run solo: their run is a whole rolling
+        # re-fit loop, not one engine plan a rider could share.
+        if (
+            self.batching
+            and self.max_batch > 1
+            and lead.spec.kind != "stream"
+        ):
             compat = lead.spec.compat_key()
             for job in self._queue:
                 if len(batch) >= self.max_batch:
@@ -330,6 +336,9 @@ class Scheduler:
         return executor
 
     def _run_batch(self, batch: list[Job]) -> None:
+        if batch[0].spec.kind == "stream":
+            self._run_stream_job(batch[0])
+            return
         solo = len(batch) == 1
         plan = BatchPlan([(job.id, job.plan) for job in batch])
         hook = JobBatchHook(
@@ -371,6 +380,63 @@ class Scheduler:
                 self._finish(job, FAILED, error=self._format_error(exc))
                 continue
             self._finish(job, DONE, result=result)
+
+    def _run_stream_job(self, job: Job) -> None:
+        """Drive one streaming job's rolling re-fit loop.
+
+        The series is replayed tick-by-tick through
+        :func:`repro.stream.refit.run_rolling`; each fitted window is
+        one progress subproblem, and cooperative cancellation is
+        checked at every window boundary (mid-window work completes —
+        a window is the streaming unit of atomicity, like a
+        subproblem is the batch one).  Under ``verify``, the
+        :class:`~repro.engine.executors.VerifyingExecutor` wrapper
+        runs PLAN4xx verification on every per-window (warm-started)
+        plan before its first stage.
+        """
+        from repro.stream.refit import StreamConfig, run_rolling
+
+        spec = job.spec
+        config = spec.config if spec.config is not None else StreamConfig()
+        series = np.asarray(spec.data["series"], dtype=float)
+        self._count("service.stream_jobs")
+
+        def on_window(fit: object) -> None:
+            job.note_subproblem("stream", recovered=False)
+            self._count("service.stream_windows")
+            if job.cancel_event.is_set():
+                raise JobCancelled(job.id)
+
+        try:
+            executor = self._make_executor(spec.backend)
+            outputs = run_rolling(
+                iter(series),
+                config,
+                p=series.shape[1],
+                executor=executor,
+                on_window=on_window,
+            )
+        except JobCancelled:
+            self._finish(job, CANCELLED)
+            return
+        except BaseException as exc:  # noqa: B036 - worker must survive
+            if job.cancel_event.is_set():
+                self._finish(job, CANCELLED)
+            else:
+                self._finish(job, FAILED, error=self._format_error(exc))
+            return
+        if job.cancel_event.is_set():
+            self._finish(job, CANCELLED)
+            return
+        try:
+            if self.store is not None:
+                self.store.put(
+                    f"{job.store_key}/result", outputs_to_arrays(outputs)
+                )
+        except BaseException as exc:  # noqa: B036 - worker must survive
+            self._finish(job, FAILED, error=self._format_error(exc))
+            return
+        self._finish(job, DONE, result=outputs)
 
     @staticmethod
     def _format_error(exc: BaseException) -> str:

@@ -66,17 +66,31 @@ def config_from_wire(kind: str, cfg: Mapping[str, Any] | None) -> Any:
     """Config kwargs dict -> the family's config dataclass.
 
     For ``"var"``, a nested ``"lasso"`` dict becomes the inner
-    :class:`UoILassoConfig`.
+    :class:`UoILassoConfig`; for ``"stream"``, a nested ``"var"`` dict
+    (itself possibly nesting ``"lasso"``) becomes the inner
+    :class:`UoIVarConfig` of a
+    :class:`~repro.stream.refit.StreamConfig`.
     """
     if cfg is None:
         return None
     cfg = dict(cfg)
+
+    def _var_config(var_cfg: dict) -> UoIVarConfig:
+        lasso = var_cfg.pop("lasso", None)
+        if isinstance(lasso, Mapping):
+            var_cfg["lasso"] = UoILassoConfig(**lasso)
+        return UoIVarConfig(**var_cfg)
+
     try:
         if kind == "var":
-            lasso = cfg.pop("lasso", None)
-            if isinstance(lasso, Mapping):
-                cfg["lasso"] = UoILassoConfig(**lasso)
-            return UoIVarConfig(**cfg)
+            return _var_config(cfg)
+        if kind == "stream":
+            from repro.stream.refit import StreamConfig
+
+            var = cfg.pop("var", None)
+            if isinstance(var, Mapping):
+                cfg["var"] = _var_config(dict(var))
+            return StreamConfig(**cfg)
         return UoILassoConfig(**cfg)
     except TypeError as exc:
         raise AdmissionError(f"invalid {kind} config: {exc}") from exc

@@ -1,0 +1,182 @@
+"""Network-change diagnostics between consecutive rolling windows.
+
+A rolling UoI_VAR stream produces one Granger network per window.  The
+interesting signal is usually not any single network but how the
+network *moves*: which directed edges appeared or vanished, how much
+the surviving coefficients drifted, and how stable the support is
+window-over-window (Ruiz et al., arXiv:1908.11464, measure exactly
+this stability for UoI_VAR supports).  :func:`diff_networks` computes
+those diagnostics from two fitted coefficient vectors;
+:class:`DiffLog` serializes them as JSONL events a ``repro stream
+replay``/``diff`` invocation can re-render; :func:`record_diff` mirrors
+the headline numbers onto telemetry counters/gauges so streaming runs
+show up in the same manifests as batch runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.telemetry.recorder import count as _tcount, gauge as _tgauge
+from repro.var.lag import partition_coefficients
+
+__all__ = [
+    "Edge",
+    "NetworkDiff",
+    "edge_set",
+    "diff_networks",
+    "record_diff",
+    "DiffLog",
+    "read_events",
+]
+
+#: A directed Granger edge: ``(lag, target, source)`` — source's value
+#: ``lag`` steps back predicts target now (entry ``A_lag[target, source]``).
+Edge = tuple[int, int, int]
+
+
+def edge_set(
+    vec_coef: np.ndarray,
+    p: int,
+    order: int,
+    *,
+    has_intercept: bool = False,
+    tol: float = 0.0,
+) -> frozenset[Edge]:
+    """Directed edges of a fitted ``vec B`` with ``|weight| > tol``."""
+    coefs, _ = partition_coefficients(
+        vec_coef, p, order, has_intercept=has_intercept
+    )
+    edges: set[Edge] = set()
+    for lag, A in enumerate(coefs, start=1):
+        for i, j in zip(*np.nonzero(np.abs(A) > tol)):
+            edges.add((lag, int(i), int(j)))
+    return frozenset(edges)
+
+
+@dataclass(frozen=True)
+class NetworkDiff:
+    """How the Granger network changed from one window to the next.
+
+    Attributes
+    ----------
+    gained, lost:
+        Sorted directed edges present only in the current (gained) or
+        only in the previous (lost) network.
+    drift:
+        L2 norm of the coefficient change over all entries (the
+        magnitude of network movement, including surviving edges).
+    stability:
+        Jaccard similarity of the two edge sets (1.0 = identical
+        networks; defined as 1.0 when both are empty).
+    n_edges_prev, n_edges_cur:
+        Edge counts before and after.
+    """
+
+    gained: list[Edge] = field(default_factory=list)
+    lost: list[Edge] = field(default_factory=list)
+    drift: float = 0.0
+    stability: float = 1.0
+    n_edges_prev: int = 0
+    n_edges_cur: int = 0
+
+
+def diff_networks(
+    prev_vec: np.ndarray,
+    cur_vec: np.ndarray,
+    p: int,
+    order: int,
+    *,
+    has_intercept: bool = False,
+    tol: float = 0.0,
+) -> NetworkDiff:
+    """Diff two consecutive windows' fitted ``vec B`` vectors."""
+    prev_vec = np.asarray(prev_vec, dtype=float)
+    cur_vec = np.asarray(cur_vec, dtype=float)
+    if prev_vec.shape != cur_vec.shape:
+        raise ValueError(
+            f"coefficient shapes differ: {prev_vec.shape} vs {cur_vec.shape}"
+        )
+    prev = edge_set(prev_vec, p, order, has_intercept=has_intercept, tol=tol)
+    cur = edge_set(cur_vec, p, order, has_intercept=has_intercept, tol=tol)
+    union = prev | cur
+    stability = 1.0 if not union else len(prev & cur) / len(union)
+    return NetworkDiff(
+        gained=sorted(cur - prev),
+        lost=sorted(prev - cur),
+        drift=float(np.linalg.norm(cur_vec - prev_vec)),
+        stability=float(stability),
+        n_edges_prev=len(prev),
+        n_edges_cur=len(cur),
+    )
+
+
+def record_diff(diff: NetworkDiff) -> None:
+    """Mirror a diff's headline numbers onto the current telemetry recorder."""
+    _tcount("stream.edges_gained", len(diff.gained))
+    _tcount("stream.edges_lost", len(diff.lost))
+    _tgauge("stream.stability", diff.stability)
+    _tgauge("stream.drift", diff.drift)
+    _tgauge("stream.edges", diff.n_edges_cur)
+
+
+class DiffLog:
+    """Append-only JSONL event log of per-window stream diagnostics.
+
+    One JSON object per line; each event carries the window index, the
+    full current edge list (so any two recorded windows can be diffed
+    offline, not just consecutive ones) and the :class:`NetworkDiff`
+    fields.  ``repro stream replay`` and ``repro stream diff`` consume
+    these files.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a", encoding="utf-8")
+
+    def emit(
+        self,
+        window_index: int,
+        diff: NetworkDiff | None,
+        *,
+        edges: frozenset[Edge] | None = None,
+        **extra: object,
+    ) -> dict:
+        """Append one window event; returns the event dict."""
+        event: dict = {"window": int(window_index)}
+        if edges is not None:
+            event["edges"] = sorted(list(e) for e in edges)
+        if diff is not None:
+            d = asdict(diff)
+            d["gained"] = [list(e) for e in diff.gained]
+            d["lost"] = [list(e) for e in diff.lost]
+            event.update(d)
+        event.update(extra)
+        self._fh.write(json.dumps(event) + "\n")
+        self._fh.flush()
+        return event
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "DiffLog":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Load a :class:`DiffLog` JSONL file back into event dicts."""
+    events = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            if line.strip():
+                events.append(json.loads(line))
+    return events

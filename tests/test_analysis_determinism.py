@@ -265,6 +265,12 @@ class TestExclusionList:
             # transports module deliberately stays scanned.
             "coordinator",
             "elastic",
+            # Streaming ingest/refit: tick timestamps, buffer timeouts
+            # and per-window wall-clock seconds are the subsystem's job;
+            # window numerics all come from VarPlans (scanned), and
+            # StreamConfig(verify=True) asserts them bitwise-equal to a
+            # cold batch fit.
+            "stream",
         )
 
     def test_coordinator_and_elastic_modules_are_excluded(self):
@@ -312,6 +318,16 @@ class TestExclusionList:
         paths = sorted(glob.glob(os.path.join(service_dir, "*.py")))
         assert paths, "service package not found"
         assert determinism_check_paths(paths) == []
+
+    def test_stream_modules_are_excluded(self):
+        """repro.stream reads clocks and sockets by design (ingestion
+        timestamps, cadence pacing); its window numerics come from
+        VarPlans, which the pass scans via the engine package."""
+        from repro.analysis.determinism import _excluded
+
+        assert _excluded("repro.stream.ingest")
+        assert _excluded("repro.stream.refit")
+        assert not _excluded("repro.engine.plans")
 
     def test_default_paths_skip_excluded_packages(self):
         from repro.analysis.determinism import (

@@ -341,3 +341,51 @@ class TestExperimentRegistry:
         for name in EXPERIMENTS:
             module = importlib.import_module(f"repro.experiments.{name}")
             assert callable(module.run), name
+
+
+class TestStreamCommand:
+    RUN = [
+        "stream", "run", "--p", "4", "--q", "5", "--b1", "4", "--b2", "3",
+        "--window", "30", "--cadence", "8", "--max-windows", "2",
+        "--seed", "21",
+    ]
+
+    def test_run_prints_window_lines_and_summary(self, capsys):
+        assert main(self.RUN) == 0
+        out = capsys.readouterr().out
+        assert "window   0" in out
+        assert "first network" in out
+        assert "fitted 2 windows" in out
+
+    def test_run_verify_asserts_cold_identity(self, capsys):
+        assert main([*self.RUN, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "bitwise-identical to a cold batch fit" in out
+
+    def test_events_then_replay_and_diff(self, capsys, tmp_path):
+        events = tmp_path / "events.jsonl"
+        assert main([*self.RUN, "--events", str(events)]) == 0
+        capsys.readouterr()
+
+        assert main(["stream", "replay", str(events)]) == 0
+        replay = capsys.readouterr().out
+        assert "stability" in replay
+        assert len(replay.strip().splitlines()) == 3  # header + 2 windows
+
+        assert main(
+            ["stream", "diff", str(events), "--base", "0", "--target", "1"]
+        ) == 0
+        assert "windows 0 -> 1" in capsys.readouterr().out
+
+    def test_replay_missing_events_fails(self, capsys, tmp_path):
+        empty = tmp_path / "none.jsonl"
+        empty.write_text("")
+        assert main(["stream", "replay", str(empty)]) == 1
+
+    def test_finance_source(self, capsys):
+        assert main(
+            ["stream", "run", "--source", "finance", "--p", "5",
+             "--q", "5", "--b1", "3", "--b2", "3", "--window", "30",
+             "--cadence", "10", "--max-windows", "2", "--ticks", "50"]
+        ) == 0
+        assert "fitted 2 windows" in capsys.readouterr().out

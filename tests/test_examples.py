@@ -25,6 +25,8 @@ CASES = [
 
 SLOW_CASES = [
     ("finance_granger.py", [], "edges:"),
+    ("finance_granger.py", ["--rolling", "--companies", "6", "--verify"],
+     "rolling snapshot:"),
     ("distributed_grid.py", [], "coef gap vs 1x1"),
 ]
 

@@ -1,0 +1,104 @@
+"""Network-change diagnostics: edge sets, diffs, JSONL event log."""
+
+import numpy as np
+import pytest
+
+from repro.stream import DiffLog, diff_networks, edge_set
+from repro.stream.diff import read_events, record_diff
+from repro.telemetry import Recorder, use_recorder
+
+
+def _vec(coefs, mu=None):
+    """vec B for given lag matrices (+ optional intercept), paper layout."""
+    blocks = ([mu.reshape(1, -1)] if mu is not None else []) + [
+        A.T for A in coefs
+    ]
+    return np.vstack(blocks).flatten(order="F")
+
+
+class TestEdgeSet:
+    def test_recovers_nonzeros_per_lag(self):
+        A1 = np.zeros((3, 3))
+        A1[0, 1] = 0.5
+        A2 = np.zeros((3, 3))
+        A2[2, 0] = -0.2
+        edges = edge_set(_vec([A1, A2]), 3, 2)
+        assert edges == {(1, 0, 1), (2, 2, 0)}
+
+    def test_tol_filters_small_weights(self):
+        A = np.array([[0.0, 0.05], [0.5, 0.0]])
+        assert edge_set(_vec([A]), 2, 1, tol=0.1) == {(1, 1, 0)}
+
+    def test_intercept_rows_ignored(self):
+        A = np.eye(2)
+        vec = _vec([A], mu=np.array([9.0, 9.0]))
+        assert edge_set(vec, 2, 1, has_intercept=True) == {(1, 0, 0), (1, 1, 1)}
+
+
+class TestDiffNetworks:
+    def test_gained_lost_drift_stability(self):
+        A_prev = np.zeros((2, 2))
+        A_prev[0, 0] = 1.0
+        A_prev[0, 1] = 0.5
+        A_cur = np.zeros((2, 2))
+        A_cur[0, 0] = 1.0
+        A_cur[1, 0] = -0.5
+        d = diff_networks(_vec([A_prev]), _vec([A_cur]), 2, 1)
+        assert d.gained == [(1, 1, 0)]
+        assert d.lost == [(1, 0, 1)]
+        assert d.n_edges_prev == 2 and d.n_edges_cur == 2
+        assert d.stability == pytest.approx(1 / 3)
+        assert d.drift == pytest.approx(np.sqrt(0.5))
+
+    def test_identical_networks_are_fully_stable(self):
+        v = _vec([np.eye(3)])
+        d = diff_networks(v, v, 3, 1)
+        assert d.stability == 1.0 and d.drift == 0.0
+        assert not d.gained and not d.lost
+
+    def test_empty_networks_are_stable_by_convention(self):
+        z = np.zeros(4)
+        assert diff_networks(z, z, 2, 1).stability == 1.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shapes differ"):
+            diff_networks(np.zeros(4), np.zeros(9), 2, 1)
+
+
+class TestTelemetry:
+    def test_record_diff_mirrors_counters_and_gauges(self):
+        rec = Recorder()
+        with use_recorder(rec):
+            d = diff_networks(
+                _vec([np.eye(2)]), _vec([np.zeros((2, 2))]), 2, 1
+            )
+            record_diff(d)
+        counters = rec.counter_values()
+        gauges = rec.gauge_values()
+        assert counters["stream.edges_lost"] == 2
+        assert counters["stream.edges_gained"] == 0
+        assert gauges["stream.stability"] == 0.0
+        assert gauges["stream.edges"] == 0
+
+
+class TestDiffLog:
+    def test_round_trip_events(self, tmp_path):
+        path = tmp_path / "stream" / "events.jsonl"
+        d = diff_networks(_vec([np.zeros((2, 2))]), _vec([np.eye(2)]), 2, 1)
+        with DiffLog(path) as log:
+            log.emit(0, None, edges=edge_set(_vec([np.zeros((2, 2))]), 2, 1))
+            log.emit(1, d, edges=edge_set(_vec([np.eye(2)]), 2, 1), t_end=40)
+        events = read_events(path)
+        assert [e["window"] for e in events] == [0, 1]
+        assert events[0]["edges"] == []
+        assert events[1]["gained"] == [[1, 0, 0], [1, 1, 1]]
+        assert events[1]["stability"] == 0.0
+        assert events[1]["t_end"] == 40
+
+    def test_appends_across_instances(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with DiffLog(path) as log:
+            log.emit(0, None)
+        with DiffLog(path) as log:
+            log.emit(1, None)
+        assert [e["window"] for e in read_events(path)] == [0, 1]

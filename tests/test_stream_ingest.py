@@ -1,0 +1,209 @@
+"""Ingestion layer: double buffer, ingest thread, tick sources.
+
+The contract under test: the exchange is bounded (backpressure or
+bounded shedding, never unbounded growth), lossless under the
+``"block"`` policy, and the socket/replay sources deliver ticks
+bitwise equal to their batch counterparts.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets import finance, var_synthetic
+from repro.stream import (
+    DoubleBuffer,
+    FinanceReplaySource,
+    Ingestor,
+    SocketSource,
+    SpikeRateSource,
+    serve_ticks,
+)
+
+
+# ---------------------------------------------------------------------------
+# double buffer
+# ---------------------------------------------------------------------------
+class TestDoubleBuffer:
+    def test_block_policy_is_lossless_in_order(self):
+        buf = DoubleBuffer(capacity=4, policy="block")
+        rows = [np.array([float(i)]) for i in range(50)]
+        ing = Ingestor(iter(rows), buf)
+        ing.start()
+        out = list(buf.drain())
+        ing.join()
+        ing.check()
+        assert [r[0] for r in out] == [float(i) for i in range(50)]
+        assert buf.produced == 50 and buf.dropped == 0
+
+    def test_block_policy_exerts_backpressure(self):
+        buf = DoubleBuffer(capacity=2, policy="block")
+        buf.put(np.zeros(1))
+        buf.put(np.zeros(1))
+        blocked = threading.Event()
+        passed = threading.Event()
+
+        def producer():
+            blocked.set()
+            buf.put(np.ones(1))  # must wait for the consumer's swap
+            passed.set()
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        assert blocked.wait(1.0)
+        assert not passed.wait(0.05), "put returned despite a full buffer"
+        assert len(buf.swap()) == 2
+        assert passed.wait(1.0), "put still blocked after the swap"
+        t.join()
+
+    def test_drop_policy_sheds_oldest_and_counts(self):
+        buf = DoubleBuffer(capacity=3, policy="drop")
+        for i in range(10):
+            buf.put(np.array([float(i)]))
+        buf.close()
+        kept = [r[0] for r in buf.drain()]
+        assert kept == [7.0, 8.0, 9.0]
+        assert buf.dropped == 7 and buf.produced == 10
+
+    def test_close_wakes_blocked_producer(self):
+        buf = DoubleBuffer(capacity=1, policy="block")
+        buf.put(np.zeros(1))
+        errors = []
+
+        def producer():
+            try:
+                buf.put(np.ones(1))
+            except ValueError as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        buf.close()
+        t.join(1.0)
+        assert not t.is_alive()
+        assert errors and "closed" in str(errors[0])
+
+    def test_put_after_close_raises(self):
+        buf = DoubleBuffer()
+        buf.close()
+        with pytest.raises(ValueError, match="closed"):
+            buf.put(np.zeros(1))
+
+    def test_drain_delivers_tick_racing_close(self):
+        buf = DoubleBuffer(capacity=8)
+        buf.put(np.array([1.0]))
+        buf.close()
+        assert [r[0] for r in buf.drain()] == [1.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            DoubleBuffer(capacity=0)
+        with pytest.raises(ValueError, match="policy"):
+            DoubleBuffer(policy="spill")
+
+
+class TestIngestor:
+    def test_source_error_is_captured_and_reraised(self):
+        def bad_source():
+            yield np.zeros(2)
+            raise RuntimeError("feed died")
+
+        buf = DoubleBuffer()
+        ing = Ingestor(bad_source(), buf)
+        ing.start()
+        rows = list(buf.drain())
+        ing.join()
+        assert len(rows) == 1
+        with pytest.raises(RuntimeError, match="ingestion failed"):
+            ing.check()
+
+
+# ---------------------------------------------------------------------------
+# tick sources
+# ---------------------------------------------------------------------------
+class TestSources:
+    def test_var_iter_ticks_bitwise_equals_batch(self):
+        """The seed contract: first n stream ticks == batch simulation."""
+        from repro.var.model import VARProcess
+
+        rng = np.random.default_rng(11)
+        coefs = var_synthetic.random_sparse_coefs(
+            4, 2, density=0.2, target_radius=0.6, rng=rng
+        )
+        batch = VARProcess(coefs, noise_cov=np.eye(4)).simulate(
+            30, rng, burn_in=200
+        )
+        stream = var_synthetic.iter_ticks(
+            4, order=2, density=0.2, target_radius=0.6, seed=11, burn_in=200
+        )
+        got = np.array([next(stream) for _ in range(30)])
+        assert np.array_equal(got, batch)
+
+    def test_var_iter_ticks_stable_across_instances(self):
+        a = var_synthetic.iter_ticks(3, seed=5)
+        b = var_synthetic.iter_ticks(3, seed=5)
+        for _ in range(10):
+            assert np.array_equal(next(a), next(b))
+
+    def test_finance_iter_ticks_bitwise_equals_batch(self):
+        panel = finance.make_stock_panel(6, 120, rng=np.random.default_rng(2))
+        batch = finance.first_differences(finance.weekly_closes(panel.prices))
+        got = np.array(list(finance.iter_ticks(6, n_days=120, seed=2)))
+        assert np.array_equal(got, batch)
+        assert got.shape[0] == 120 // 5 - 1
+
+    def test_spike_rate_source_is_positive_and_seeded(self):
+        rows = list(SpikeRateSource(5, seed=4, max_ticks=20))
+        again = list(SpikeRateSource(5, seed=4, max_ticks=20))
+        assert len(rows) == 20
+        assert all(np.all(r > 0) for r in rows)
+        assert all(np.array_equal(a, b) for a, b in zip(rows, again))
+        # The log-link bounds rates away from zero and overflow.
+        base = 2.0
+        assert all(
+            np.all(r >= base * np.exp(-3)) and np.all(r <= base * np.exp(3))
+            for r in rows
+        )
+
+    def test_finance_replay_source_matches_generator(self):
+        direct = list(finance.iter_ticks(4, n_days=60, seed=9))
+        via_source = list(FinanceReplaySource(4, n_days=60, seed=9))
+        assert len(direct) == len(via_source)
+        assert all(np.array_equal(a, b) for a, b in zip(direct, via_source))
+
+
+# ---------------------------------------------------------------------------
+# socket transport
+# ---------------------------------------------------------------------------
+class TestSocketSource:
+    def test_round_trip_bitwise(self):
+        rows = list(finance.iter_ticks(3, n_days=60, seed=6))
+        addr, server = serve_ticks(iter(rows))
+        src = SocketSource.connect(*addr)
+        got = list(src)
+        server.join(5.0)
+        assert src.p == 3 and src.received == len(rows)
+        assert all(np.array_equal(a, b) for a, b in zip(got, rows))
+
+    def test_feeds_ingestor_end_to_end(self):
+        rows = [np.full(2, float(i)) for i in range(12)]
+        addr, server = serve_ticks(iter(rows))
+        buf = DoubleBuffer(capacity=4)
+        ing = Ingestor(SocketSource.connect(*addr), buf)
+        ing.start()
+        got = list(buf.drain())
+        ing.join()
+        ing.check()
+        server.join(5.0)
+        assert all(np.array_equal(a, b) for a, b in zip(got, rows))
+
+    def test_shape_mismatch_rejected(self):
+        rows = [np.zeros(2), np.zeros(3)]
+        addr, server = serve_ticks(iter(rows))
+        src = SocketSource.connect(*addr)
+        with pytest.raises(ValueError, match="tick shape"):
+            list(src)
+        server.join(5.0)
