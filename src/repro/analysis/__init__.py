@@ -1,6 +1,6 @@
 """Correctness tooling for the SPMD substrate (``repro.analysis``).
 
-Five checkers, one findings currency:
+Six checkers, one findings currency:
 
 * :mod:`repro.analysis.linter` — an AST-based **static SPMD linter**
   enforcing the communication discipline the paper's implementation
@@ -17,11 +17,18 @@ Five checkers, one findings currency:
   (rules ``PLAN401``-``PLAN404``): :func:`verify_plan` over
   constructed plans (opt-in at run time via ``REPRO_PLAN_VERIFY=1``
   or ``make_executor(..., verify=True)``) plus an AST side;
+* :mod:`repro.analysis.threads` — a **lock-order / shared-state
+  pass** over the threaded layers (rules ``LOCK501``-``LOCK504``):
+  the lock-acquisition graph, condition-wait discipline, Eraser-style
+  lock-set checking and blocking-while-holding detection;
 * :mod:`repro.analysis.dynamic` — **runtime checkers** wired into
   :mod:`repro.simmpi` via ``run_spmd(checker=...)`` (rules
-  ``DYN201``-``DYN204``).
+  ``DYN201``-``DYN204``), plus the :class:`LockOrderObserver`
+  (``DYN206``) behind the ``instrumented_lock`` factories and
+  ``REPRO_THREAD_CHECK=1``.
 
-``repro check lint|shapes|determinism|plan|static|dynamic|all`` (see
+``repro check lint|shapes|determinism|plan|threads|static|dynamic|all``
+(see
 :mod:`repro.analysis.check`) runs them and gates CI on zero findings;
 ``--format sarif`` exports GitHub-annotatable SARIF 2.1.0
 (:mod:`repro.analysis.sarif`).  Every rule is documented in
@@ -46,6 +53,7 @@ from repro.analysis.rules import (
     SHAPE_RULES,
     STATIC_RULES,
     SUPPRESSION_RULES,
+    THREAD_RULES,
     Rule,
     get_rule,
 )
@@ -74,7 +82,21 @@ from repro.analysis.planver import (
     verify_plan,
 )
 from repro.analysis.sarif import findings_to_sarif
-from repro.analysis.dynamic import CollectiveMismatchError, DynamicChecker
+from repro.analysis.threads import (
+    default_threads_paths,
+    threads_check_paths,
+    threads_check_source,
+)
+from repro.analysis.dynamic import (
+    CollectiveMismatchError,
+    DynamicChecker,
+    LockOrderObserver,
+    current_lock_observer,
+    instrumented_condition,
+    instrumented_lock,
+    instrumented_rlock,
+    use_lock_observer,
+)
 from repro.analysis.check import (
     MODES,
     run_check,
@@ -83,6 +105,7 @@ from repro.analysis.check import (
     run_lint,
     run_plan_checks,
     run_shapes,
+    run_threads,
 )
 
 __all__ = [
@@ -103,6 +126,7 @@ __all__ = [
     "DETERMINISM_RULES",
     "PLAN_RULES",
     "SUPPRESSION_RULES",
+    "THREAD_RULES",
     "get_rule",
     "Suppressions",
     "filter_findings",
@@ -123,11 +147,21 @@ __all__ = [
     "plan_lint_paths",
     "DynamicChecker",
     "CollectiveMismatchError",
+    "LockOrderObserver",
+    "current_lock_observer",
+    "instrumented_lock",
+    "instrumented_rlock",
+    "instrumented_condition",
+    "use_lock_observer",
+    "threads_check_source",
+    "threads_check_paths",
+    "default_threads_paths",
     "MODES",
     "run_check",
     "run_lint",
     "run_shapes",
     "run_determinism",
     "run_plan_checks",
+    "run_threads",
     "run_dynamic",
 ]

@@ -1,6 +1,6 @@
 """The ``repro check`` gate: run the static and dynamic checkers.
 
-Five checkers share one findings currency and one gate (**zero
+Six checkers share one findings currency and one gate (**zero
 findings**: CI fails on any):
 
 * ``repro check lint`` — the SPMD AST linter over ``src/repro``;
@@ -11,12 +11,17 @@ findings**: CI fails on any):
 * ``repro check plan`` — the PLAN4xx verifier: static AST checks over
   the engine and distributed core, plus :func:`verify_plan` replayed
   over reference plans built from each driver family;
+* ``repro check threads`` — the LOCK5xx lock-order / shared-state
+  pass over the threaded layers (service, elastic engine, stream),
+  plus a short checked concurrency workload (two-writer replicated
+  store, double-buffered ingest) under a
+  :class:`~repro.analysis.dynamic.LockOrderObserver` (``DYN206``);
 * ``repro check dynamic`` — a battery of real communication
   workloads (a distributed UoI_LASSO fit, an all-collectives
   exerciser, the two RMA-heavy distribution paths) under a
   :class:`~repro.analysis.dynamic.DynamicChecker`.
 
-``repro check static`` runs the four static passes; ``repro check
+``repro check static`` runs the five static passes; ``repro check
 all`` runs everything.
 """
 
@@ -27,11 +32,12 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.analysis.determinism import determinism_check_paths
-from repro.analysis.dynamic import DynamicChecker
+from repro.analysis.dynamic import DynamicChecker, LockOrderObserver, use_lock_observer
 from repro.analysis.findings import Finding
 from repro.analysis.linter import lint_paths
 from repro.analysis.planver import plan_lint_paths, verify_plan
 from repro.analysis.shapes import MemoryBudget, shape_check_paths
+from repro.analysis.threads import threads_check_paths
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simmpi.comm import SimComm
@@ -41,12 +47,22 @@ __all__ = [
     "run_shapes",
     "run_determinism",
     "run_plan_checks",
+    "run_threads",
     "run_dynamic",
     "run_check",
     "MODES",
 ]
 
-MODES = ("lint", "shapes", "determinism", "plan", "static", "dynamic", "all")
+MODES = (
+    "lint",
+    "shapes",
+    "determinism",
+    "plan",
+    "threads",
+    "static",
+    "dynamic",
+    "all",
+)
 
 
 def run_lint(paths: Sequence[str] | None = None) -> list[Finding]:
@@ -108,6 +124,61 @@ def run_plan_checks(paths: Sequence[str] | None = None) -> list[Finding]:
     for plan in _reference_plans():
         findings.extend(verify_plan(plan))
     return findings
+
+
+def run_threads(paths: Sequence[str] | None = None) -> list[Finding]:
+    """LOCK pass over ``paths`` (default: the whole package)."""
+    return threads_check_paths(paths)
+
+
+def _exercise_lock_observer() -> DynamicChecker:
+    """A short checked concurrency workload for ``DYN206``.
+
+    Two writer threads race puts into a two-shard replicated store
+    (primary lock -> replica locks -> checkpoint lock) while a
+    producer/consumer pair runs the double-buffered ingest condition
+    protocol — the lock topologies the observer exists to watch.
+    """
+    import tempfile
+    import threading
+
+    from repro.service.store import ReplicatedResultsStore
+    from repro.stream.ingest import DoubleBuffer
+
+    observer = LockOrderObserver()
+    with use_lock_observer(observer), tempfile.TemporaryDirectory() as root:
+        store = ReplicatedResultsStore(root, nshards=2)
+        barrier = threading.Barrier(2)
+
+        def writer(tid: int) -> None:
+            barrier.wait()
+            for i in range(6):
+                store.put(
+                    f"t{tid}/k{i}", {"b": np.full(3, float(tid * 10 + i))}
+                )
+
+        buffer = DoubleBuffer(capacity=4)
+
+        def producer() -> None:
+            for i in range(32):
+                buffer.put(np.full(2, float(i)))
+            buffer.close()
+
+        consumed: list[np.ndarray] = []
+
+        def consumer() -> None:
+            consumed.extend(buffer.drain(poll_interval=0.001))
+
+        threads = [
+            threading.Thread(target=writer, args=(t,)) for t in range(2)
+        ] + [threading.Thread(target=producer), threading.Thread(target=consumer)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if not store.converged() or len(consumed) != 32:  # pragma: no cover
+            raise RuntimeError("lock-observer exercise workload misbehaved")
+    return observer.checker
 
 
 def _exercise_collectives(nranks: int) -> DynamicChecker:
@@ -220,6 +291,10 @@ def run_check(
         findings.extend(run_determinism(paths))
     if mode in ("plan", "static", "all"):
         findings.extend(run_plan_checks(paths))
+    if mode in ("threads", "static", "all"):
+        findings.extend(run_threads(paths))
+    if mode in ("threads", "dynamic", "all"):
+        findings.extend(_exercise_lock_observer().findings)
     if mode in ("dynamic", "all"):
         findings.extend(run_dynamic(nranks=nranks))
     return findings

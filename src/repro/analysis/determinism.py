@@ -50,6 +50,7 @@ from repro.analysis.suppress import filter_findings
 
 __all__ = [
     "EXCLUDED_SUBPACKAGES",
+    "SCANNED_EXCEPTIONS",
     "PLAN_BASE",
     "ROOT_METHODS",
     "determinism_check_source",
@@ -78,7 +79,8 @@ __all__ = [
 #: and annotate the rolling loop, while every number in a window's
 #: result comes out of the ``VarPlan`` it builds, which stays inside
 #: the taint pass (and is asserted bitwise-equal to a cold batch fit
-#: under ``StreamConfig(verify=True)``).
+#: under ``StreamConfig(verify=True)``) — except its two pure-compute
+#: modules, listed in :data:`SCANNED_EXCEPTIONS` below.
 EXCLUDED_SUBPACKAGES: tuple[str, ...] = (
     "telemetry",
     "simmpi",
@@ -88,6 +90,18 @@ EXCLUDED_SUBPACKAGES: tuple[str, ...] = (
     "coordinator",
     "elastic",
     "stream",
+)
+
+#: Modules scanned *despite* living in an excluded subpackage.
+#: ``repro.stream.window`` (incremental lag-window Gram/Kron products)
+#: and ``repro.stream.diff`` (network-diff arithmetic) are pure
+#: computation — no sockets, no clocks, no thread scheduling — and
+#: their numbers feed window fits directly, so they stay under the
+#: taint pass even though the rest of ``repro.stream`` is
+#: observational pacing.
+SCANNED_EXCEPTIONS: tuple[str, ...] = (
+    "repro.stream.window",
+    "repro.stream.diff",
 )
 
 #: Base class whose subclasses carry the determinism contract.
@@ -513,6 +527,8 @@ def _module_name_for(path: str) -> str:
 
 
 def _excluded(modname: str) -> bool:
+    if modname in SCANNED_EXCEPTIONS:
+        return False
     parts = modname.split(".")
     return any(sub in parts for sub in EXCLUDED_SUBPACKAGES)
 

@@ -18,6 +18,18 @@ runs:
 * **Deadlock reporting** (``DYN204``) — when the runtime's timeout
   abort fires, the checker records a finding naming every blocked
   rank and the call each was waiting in.
+* **Lock-order observation** (``DYN206``) — a
+  :class:`LockOrderObserver` wraps the service/elastic/stream lock
+  objects (production code creates them through the
+  :func:`instrumented_lock` / :func:`instrumented_rlock` /
+  :func:`instrumented_condition` factories, which return *plain*
+  ``threading`` primitives whenever no observer is active), records
+  each thread's acquisition stack, and reports observed order
+  inversions and long-held-lock stalls — the runtime twin of the
+  static ``LOCK501``/``LOCK504`` pass in
+  :mod:`repro.analysis.threads`.  Enable globally with
+  ``REPRO_THREAD_CHECK=1`` or per-scope with
+  :func:`use_lock_observer`.
 
 The checker is pure observation: it never touches payloads, so runs
 with a checker attached are bitwise identical to runs without
@@ -31,14 +43,26 @@ from __future__ import annotations
 import os
 import sys
 import threading
-from typing import Any
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
 
 import numpy as np
 
 from repro.analysis.findings import Finding
 from repro.analysis.rules import get_rule
 
-__all__ = ["DynamicChecker", "CollectiveMismatchError", "call_site"]
+__all__ = [
+    "DynamicChecker",
+    "CollectiveMismatchError",
+    "call_site",
+    "LockOrderObserver",
+    "instrumented_lock",
+    "instrumented_rlock",
+    "instrumented_condition",
+    "use_lock_observer",
+    "current_lock_observer",
+]
 
 #: Files whose frames are skipped when attributing a dynamic finding
 #: to a user call site.
@@ -383,3 +407,282 @@ class DynamicChecker:
             ("<coordinator>", 0),
             stalled=dict(sorted(stalled.items())),
         )
+
+
+# ---------------------------------------------------------------------------
+# DYN206: runtime lock-order observation
+# ---------------------------------------------------------------------------
+class LockOrderObserver:
+    """Observe the order in which threads take instrumented locks.
+
+    The runtime twin of the static ``LOCK501``/``LOCK504`` pass: every
+    :func:`instrumented_lock`/:func:`instrumented_rlock` acquisition is
+    pushed onto a per-thread stack, and
+
+    * taking lock ``B`` while holding ``A`` records the directed edge
+      ``A -> B``; the first time the *reverse* edge is also observed —
+      from any thread, at any point in the run — a ``DYN206`` finding
+      is emitted naming both sites (one finding per unordered pair);
+    * a lock held longer than ``stall_threshold`` seconds (checked
+      when the outermost hold is released, and when a ``Condition``
+      wait releases it) emits a ``DYN206`` stall finding (once per
+      lock name; locks created with ``stall_exempt=True`` — the
+      elastic executor's intentional whole-stage serialization — are
+      skipped).
+
+    Pure observation: acquisition metadata only, payloads untouched —
+    a run with the observer attached is bitwise identical to one
+    without (asserted in ``tests/test_analysis_lock_observer.py``).
+    Reentrant re-acquisition of the same object and same-name pairs
+    (two replicas of one class) never produce edges.
+    """
+
+    def __init__(
+        self,
+        checker: DynamicChecker | None = None,
+        *,
+        stall_threshold: float = 5.0,
+    ) -> None:
+        self.checker = checker if checker is not None else DynamicChecker()
+        self.stall_threshold = stall_threshold
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        #: (holder name, acquired name) -> first site observed.
+        self._edges: dict[tuple[str, str], tuple[str, int]] = {}
+        self._reported_pairs: set[frozenset[str]] = set()
+        self._reported_stalls: set[str] = set()
+
+    # ------------------------------------------------------------ state
+    def _state(self) -> dict[str, Any]:
+        state = getattr(self._local, "state", None)
+        if state is None:
+            state = self._local.state = {"held": [], "depth": {}, "t0": {}}
+        return state
+
+    def findings(self) -> list[Finding]:
+        return self.checker.findings_for("DYN206")
+
+    # ------------------------------------------------------ transitions
+    def on_acquired(self, lock: "_ObservedLock") -> None:
+        state = self._state()
+        depth = state["depth"].get(lock, 0)
+        if depth == 0:
+            for prior in state["held"]:
+                if prior is lock or prior.name == lock.name:
+                    continue
+                self._note_edge(prior, lock)
+            state["held"].append(lock)
+            state["t0"][lock] = time.monotonic()
+        state["depth"][lock] = depth + 1
+
+    def on_release(self, lock: "_ObservedLock") -> None:
+        state = self._state()
+        depth = state["depth"].get(lock, 0)
+        if depth > 1:
+            state["depth"][lock] = depth - 1
+            return
+        self._drop(state, lock)
+
+    def on_wait_release(self, lock: "_ObservedLock") -> int:
+        """Condition.wait is about to fully release ``lock``; the hold
+        ends here (wait time must not count toward the stall check)."""
+        state = self._state()
+        depth = state["depth"].get(lock, 0)
+        self._drop(state, lock)
+        return depth
+
+    def on_wait_acquire(self, lock: "_ObservedLock", depth: int) -> None:
+        """Condition.wait re-acquired ``lock`` at its saved depth."""
+        state = self._state()
+        state["held"].append(lock)
+        state["t0"][lock] = time.monotonic()
+        state["depth"][lock] = max(1, depth)
+
+    def _drop(self, state: dict[str, Any], lock: "_ObservedLock") -> None:
+        state["depth"].pop(lock, None)
+        if lock in state["held"]:
+            state["held"].remove(lock)
+        t0 = state["t0"].pop(lock, None)
+        if t0 is None or lock.stall_exempt:
+            return
+        held_for = time.monotonic() - t0
+        if held_for < self.stall_threshold:
+            return
+        with self._lock:
+            if lock.name in self._reported_stalls:
+                return
+            self._reported_stalls.add(lock.name)
+        self.checker._emit(
+            "DYN206",
+            f"long-held lock: `{lock.name}` held for {held_for:.2f}s "
+            f"(threshold {self.stall_threshold:.2f}s) — every thread "
+            "contending for it stalled for the full hold",
+            call_site(),
+            lock=lock.name,
+            held_for=round(held_for, 3),
+            threshold=self.stall_threshold,
+        )
+
+    # ------------------------------------------------------------ edges
+    def _note_edge(self, holder: "_ObservedLock", acquired: "_ObservedLock") -> None:
+        site = call_site()
+        edge = (holder.name, acquired.name)
+        reverse_site: tuple[str, int] | None = None
+        with self._lock:
+            self._edges.setdefault(edge, site)
+            reverse_site = self._edges.get((acquired.name, holder.name))
+            if reverse_site is not None:
+                pair = frozenset(edge)
+                if pair in self._reported_pairs:
+                    return
+                self._reported_pairs.add(pair)
+        if reverse_site is None:
+            return
+        self.checker._emit(
+            "DYN206",
+            f"lock-order inversion observed: acquired `{acquired.name}` "
+            f"while holding `{holder.name}`, but the opposite order was "
+            f"also taken at {reverse_site[0]}:{reverse_site[1]} — two "
+            "threads interleaving these paths deadlock",
+            site,
+            edge=[holder.name, acquired.name],
+            reverse_site=f"{reverse_site[0]}:{reverse_site[1]}",
+        )
+
+
+class _ObservedLock:
+    """``threading.Lock`` wrapper reporting transitions to an observer.
+
+    Deliberately does *not* expose ``_release_save``/``_acquire_restore``
+    /``_is_owned``: a ``Condition`` built over this wrapper falls back
+    to routing its wait-release/re-acquire through :meth:`release` and
+    :meth:`acquire`, which keeps observation consistent.
+    """
+
+    _factory = staticmethod(threading.Lock)
+
+    def __init__(
+        self, observer: LockOrderObserver, name: str, stall_exempt: bool
+    ) -> None:
+        self._inner = self._factory()
+        self._observer = observer
+        self.name = name
+        self.stall_exempt = stall_exempt
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._observer.on_acquired(self)
+        return acquired
+
+    def release(self) -> None:
+        self._observer.on_release(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> "_ObservedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r} {self._inner!r}>"
+
+
+class _ObservedRLock(_ObservedLock):
+    """``threading.RLock`` wrapper that also implements the protocol
+    ``Condition`` captures at construction (``_release_save`` /
+    ``_acquire_restore`` / ``_is_owned``) — a plain passthrough would
+    bypass observation during ``wait()`` and count the wait as hold
+    time."""
+
+    _factory = staticmethod(threading.RLock)
+
+    def _release_save(self) -> tuple[Any, int]:
+        inner_state = self._inner._release_save()  # type: ignore[attr-defined]
+        return inner_state, self._observer.on_wait_release(self)
+
+    def _acquire_restore(self, state: tuple[Any, int]) -> None:
+        inner_state, depth = state
+        self._inner._acquire_restore(inner_state)  # type: ignore[attr-defined]
+        self._observer.on_wait_acquire(self, depth)
+
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()  # type: ignore[attr-defined]
+
+
+# Scope-local observer (tests, `repro check threads`) layered over an
+# optional process-global one gated by REPRO_THREAD_CHECK (CI).
+_ACTIVE_OBSERVER: LockOrderObserver | None = None
+_ENV_OBSERVER: LockOrderObserver | None = None
+_OBSERVER_GUARD = threading.Lock()
+
+
+def current_lock_observer() -> LockOrderObserver | None:
+    """The observer new instrumented locks should report to, if any."""
+    if _ACTIVE_OBSERVER is not None:
+        return _ACTIVE_OBSERVER
+    if os.environ.get("REPRO_THREAD_CHECK", "") not in ("", "0"):
+        global _ENV_OBSERVER
+        with _OBSERVER_GUARD:
+            if _ENV_OBSERVER is None:
+                _ENV_OBSERVER = LockOrderObserver()
+            return _ENV_OBSERVER
+    return None
+
+
+@contextmanager
+def use_lock_observer(
+    observer: LockOrderObserver,
+) -> Iterator[LockOrderObserver]:
+    """Make ``observer`` the target of instrumented locks created in
+    this scope (locks snapshot the observer at construction, so only
+    objects *built* inside the scope are observed)."""
+    global _ACTIVE_OBSERVER
+    previous = _ACTIVE_OBSERVER
+    _ACTIVE_OBSERVER = observer
+    try:
+        yield observer
+    finally:
+        _ACTIVE_OBSERVER = previous
+
+
+def instrumented_lock(
+    name: str,
+    *,
+    observer: LockOrderObserver | None = None,
+    stall_exempt: bool = False,
+) -> Any:
+    """A ``threading.Lock``, wrapped for observation when an observer
+    is active (explicitly passed, scoped via :func:`use_lock_observer`,
+    or the ``REPRO_THREAD_CHECK`` global) — a *plain* lock otherwise,
+    so the disabled path costs nothing."""
+    target = observer if observer is not None else current_lock_observer()
+    if target is None:
+        return threading.Lock()
+    return _ObservedLock(target, name, stall_exempt)
+
+
+def instrumented_rlock(
+    name: str,
+    *,
+    observer: LockOrderObserver | None = None,
+    stall_exempt: bool = False,
+) -> Any:
+    """Reentrant variant of :func:`instrumented_lock`."""
+    target = observer if observer is not None else current_lock_observer()
+    if target is None:
+        return threading.RLock()
+    return _ObservedRLock(target, name, stall_exempt)
+
+
+def instrumented_condition(
+    name: str, *, observer: LockOrderObserver | None = None
+) -> threading.Condition:
+    """A ``threading.Condition`` over an instrumented reentrant lock
+    (or a plain one when no observer is active)."""
+    return threading.Condition(instrumented_rlock(name, observer=observer))

@@ -1,17 +1,20 @@
 """Rule registry for the static passes and the simmpi dynamic checkers.
 
-Five rule families, one findings currency:
+Six rule families, one findings currency:
 
 * ``SPMD0xx`` — the AST SPMD linter (:mod:`repro.analysis.linter`);
 * ``SHAPE1xx`` — the symbolic shape/dtype/memory interpreter
   (:mod:`repro.analysis.shapes`);
 * ``DYN2xx`` — the runtime checkers
-  (:class:`repro.analysis.dynamic.DynamicChecker`);
+  (:class:`repro.analysis.dynamic.DynamicChecker`, including the
+  ``DYN206`` lock-order observer);
 * ``DET3xx`` — the determinism-taint pass
   (:mod:`repro.analysis.determinism`);
 * ``PLAN4xx`` — the pre-run plan verifier
-  (:mod:`repro.analysis.planver`), plus ``SUP001`` for stale
-  suppressions (:mod:`repro.analysis.suppress`).
+  (:mod:`repro.analysis.planver`);
+* ``LOCK5xx`` — the thread-safety pass over the service/elastic/
+  stream layers (:mod:`repro.analysis.threads`), plus ``SUP001`` for
+  stale suppressions (:mod:`repro.analysis.suppress`).
 
 Every rule documented here also appears, with an example and its
 suppression syntax, in ``docs/static-analysis.md`` — keep the two in
@@ -32,6 +35,7 @@ __all__ = [
     "DYNAMIC_RULES",
     "DETERMINISM_RULES",
     "PLAN_RULES",
+    "THREAD_RULES",
     "SUPPRESSION_RULES",
     "get_rule",
 ]
@@ -180,6 +184,21 @@ DYNAMIC_RULES = (
             "reporter names each stalled worker and the lease it holds "
             "(chain + subproblem keys) so a hung fleet is diagnosable "
             "from one message."
+        ),
+    ),
+    Rule(
+        id="DYN206",
+        name="lock-order-violation",
+        severity=ERROR,
+        summary="observed lock-order inversion or long-held-lock stall",
+        rationale=(
+            "The runtime twin of LOCK501: a LockOrderObserver wrapped "
+            "around the service/elastic/stream locks records every "
+            "thread's acquisition stack. Two locks observed held in "
+            "both orders is a deadlock that merely has not interleaved "
+            "badly yet; a lock held past the stall threshold starves "
+            "every contending thread. Observation only — checked runs "
+            "are bitwise-identical to unchecked ones."
         ),
     ),
 )
@@ -359,6 +378,69 @@ PLAN_RULES = (
     ),
 )
 
+THREAD_RULES = (
+    Rule(
+        id="LOCK501",
+        name="lock-order-inversion",
+        severity=ERROR,
+        summary="two locks are acquired in both orders on different paths",
+        rationale=(
+            "If one code path takes lock A then lock B while another "
+            "takes B then A, two threads interleaving those paths "
+            "deadlock forever — each holds the lock the other needs. "
+            "The pass builds the lock-acquisition graph across every "
+            "`with lock:` / `.acquire()` site (following calls made "
+            "while a lock is held, like the DET pass follows taint) and "
+            "reports each edge participating in a cycle."
+        ),
+    ),
+    Rule(
+        id="LOCK502",
+        name="bare-condition-wait",
+        severity=ERROR,
+        summary="Condition.wait() outside a while-predicate loop",
+        rationale=(
+            "Condition waits are subject to spurious wakeups, and the "
+            "predicate can be re-falsified between notify and wakeup "
+            "under multiple waiters; a wait guarded by `if` (or by no "
+            "check at all) proceeds on stale state. The only safe shape "
+            "is `while not predicate: cond.wait()` — or wait_for(), "
+            "which loops internally."
+        ),
+    ),
+    Rule(
+        id="LOCK503",
+        name="unlocked-shared-write",
+        severity=ERROR,
+        summary="attribute written under a lock somewhere is also written "
+        "without it",
+        rationale=(
+            "An attribute that any method writes while holding a lock is, "
+            "by that act, declared shared mutable state; a write to it on "
+            "a path that does not hold the same lock races every locked "
+            "reader and writer (lost updates, torn compound state). The "
+            "lock-set attribution follows callers: a helper only ever "
+            "invoked with the lock held counts as locked (Eraser-style)."
+        ),
+    ),
+    Rule(
+        id="LOCK504",
+        name="blocking-call-under-lock",
+        severity=ERROR,
+        summary="blocking call (socket recv/accept, Queue.get, "
+        "future.result, engine run) while holding a lock",
+        rationale=(
+            "A lock held across an unbounded wait — a socket recv, a "
+            "queue get, a future result, an entire engine run — stalls "
+            "every thread contending for that lock for as long as the "
+            "wait lasts, and deadlocks outright if the awaited event "
+            "itself needs the lock to make progress. Snapshot under the "
+            "lock, then block outside it (Condition.wait is exempt: it "
+            "releases the lock while waiting)."
+        ),
+    ),
+)
+
 SUPPRESSION_RULES = (
     Rule(
         id="SUP001",
@@ -383,6 +465,7 @@ RULES: dict[str, Rule] = {
         + DYNAMIC_RULES
         + DETERMINISM_RULES
         + PLAN_RULES
+        + THREAD_RULES
         + SUPPRESSION_RULES
     )
 }

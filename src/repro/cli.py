@@ -43,11 +43,12 @@ Subcommands
     instead boots an ephemeral server, drives N concurrent mixed jobs
     through socket clients, and verifies every result is bitwise
     identical to a direct fit (the CI acceptance mode).
-``check [lint|shapes|determinism|plan|static|dynamic|all] ...``
-    Correctness gate: the four static passes (SPMD lint, symbolic
+``check [lint|shapes|determinism|plan|threads|static|dynamic|all] ...``
+    Correctness gate: the five static passes (SPMD lint, symbolic
     shape/memory interpretation, determinism taint, plan
-    verification) plus the dynamic (collective-matching / RMA-race /
-    deadlock) checker battery.  Exits 0 iff there are zero findings;
+    verification, lock-order/shared-state analysis) plus the dynamic
+    (collective-matching / RMA-race / deadlock / lock-observation)
+    checker battery.  Exits 0 iff there are zero findings;
     ``--format human|json|sarif`` selects the stdout rendering, ``-o``
     additionally writes findings JSON (the CI artifact), and
     ``--sarif-out`` writes SARIF 2.1.0 for GitHub code scanning.
@@ -295,13 +296,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "shapes",
             "determinism",
             "plan",
+            "threads",
             "static",
             "dynamic",
             "all",
         ],
         default="all",
-        help="which checkers to run (static = lint+shapes+determinism+plan; "
-        "default: all)",
+        help="which checkers to run "
+        "(static = lint+shapes+determinism+plan+threads; default: all)",
     )
     check.add_argument(
         "--path",

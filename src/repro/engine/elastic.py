@@ -49,6 +49,7 @@ import threading
 import time
 from typing import TYPE_CHECKING
 
+from repro.analysis.dynamic import instrumented_lock, instrumented_rlock
 from repro.engine.coordinator import (
     Lease,
     Payload,
@@ -225,7 +226,7 @@ class WorkerHub:
         self._lsock = socket.create_server((host, port))
         self.host, self.port = self._lsock.getsockname()[:2]
         self.events: "queue.Queue[tuple[str, str, dict | None]]" = queue.Queue()
-        self._lock = threading.Lock()
+        self._lock = instrumented_lock("engine.elastic.hub")
         self._channels: dict[str, LineChannel] = {}
         self._stage_frame: dict | None = None
         self._closed = False
@@ -514,7 +515,11 @@ class ElasticExecutor(CoordinatedExecutor):
         self.join_timeout = join_timeout
         self._spawn = spawn
         self._procs: list[subprocess.Popen] = []
-        self._lock = threading.RLock()
+        # stall_exempt: this lock intentionally serializes whole stages
+        # (see run_stage), so long holds are by design, not a finding.
+        self._lock = instrumented_rlock(
+            "engine.elastic.executor", stall_exempt=True
+        )
         self._fleet_started = False
         self._closed = False
 
@@ -606,7 +611,10 @@ class ElasticExecutor(CoordinatedExecutor):
             if self._closed:
                 raise RuntimeError("executor is shut down")
             self.ensure_fleet()
-            return super().run_stage(plan, stage, chains, hooks)
+            # Intentional: the process-wide shared executor serializes
+            # whole stages so concurrent fits multiplex one fleet
+            # rather than racing for leases chain-by-chain.
+            return super().run_stage(plan, stage, chains, hooks)  # repro: ignore[LOCK504]
 
     def utilization(self) -> dict[str, int]:
         """Fleet-lifetime orchestration counters (joins, leases, ...)."""
@@ -618,16 +626,19 @@ class ElasticExecutor(CoordinatedExecutor):
             if self._closed:
                 return
             self._closed = True
+            # Snapshot-and-swap under the lock; the slow wait/kill loop
+            # then runs lock-free on the local list, so a concurrent
+            # ensure_fleet() never sees a half-cleared roster.
+            procs, self._procs = self._procs, []
         self.hub.close()
         deadline = time.monotonic() + 5.0
-        for proc in self._procs:
+        for proc in procs:
             remaining = max(0.1, deadline - time.monotonic())
             try:
                 proc.wait(timeout=remaining)
             except subprocess.TimeoutExpired:  # pragma: no cover - slow exit
                 proc.kill()
                 proc.wait()
-        self._procs.clear()
 
 
 # ---------------------------------------------------------------------------

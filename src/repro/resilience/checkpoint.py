@@ -37,12 +37,12 @@ import io
 import json
 import os
 import re
-import threading
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.dynamic import instrumented_rlock
 from repro.pfs import lustre
 from repro.simmpi.clock import RankClock, TimeCategory
 from repro.simmpi.machine import MachineModel
@@ -90,7 +90,7 @@ class CheckpointStore:
         self.root = Path(root)
         self._records_dir = self.root / "records"
         self._records_dir.mkdir(parents=True, exist_ok=True)
-        self._lock = threading.RLock()
+        self._lock = instrumented_rlock("resilience.checkpoint.store")
         manifest_path = self.root / MANIFEST_NAME
         if manifest_path.exists():
             with open(manifest_path, "r", encoding="utf-8") as fh:

@@ -25,6 +25,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from repro.analysis.dynamic import instrumented_condition
 from repro.core.config import UoILassoConfig, UoIVarConfig
 from repro.engine.plan import UoIPlan
 
@@ -268,6 +269,11 @@ def outputs_to_arrays(outputs: Any) -> dict[str, np.ndarray]:
     return out
 
 
+def _job_condition() -> threading.Condition:
+    """Per-job condition, observable under ``REPRO_THREAD_CHECK``."""
+    return instrumented_condition("service.job.cond")
+
+
 @dataclass
 class Job:
     """One admitted request moving through the lifecycle.
@@ -294,7 +300,7 @@ class Job:
     enqueued_at: float | None = None
     started_at: float | None = None
     finished_at: float | None = None
-    cond: threading.Condition = field(default_factory=threading.Condition)
+    cond: threading.Condition = field(default_factory=_job_condition)
     done_event: threading.Event = field(default_factory=threading.Event)
     cancel_event: threading.Event = field(default_factory=threading.Event)
     _store_key: str | None = field(default=None, repr=False)

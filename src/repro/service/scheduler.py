@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from repro.analysis.dynamic import instrumented_condition
 from repro.engine import BACKEND_ALIASES, EngineHook, make_executor, run_plan
 from repro.engine.plan import Subproblem
 from repro.service.batch import BatchPlan
@@ -164,7 +165,7 @@ class Scheduler:
         self.recorder = recorder
         self.verify = verify
         self.executor_factory = executor_factory
-        self._cv = threading.Condition()
+        self._cv = instrumented_condition("service.scheduler.cv")
         self._queue: list[Job] = []
         self._started_per_tenant: dict[str, int] = {}
         self._running = 0

@@ -17,12 +17,12 @@ tenant is not re-admitted — the original job id is returned.
 
 from __future__ import annotations
 
-import threading
 from types import TracebackType
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping
 
 import numpy as np
 
+from repro.analysis.dynamic import instrumented_lock
 from repro.analysis.planver import verify_plan
 from repro.service.jobs import (
     CANCELLED,
@@ -88,7 +88,7 @@ class Service:
             verify=verify,
             executor_factory=executor_factory,
         )
-        self._lock = threading.Lock()
+        self._lock = instrumented_lock("service.service.lock")
         self._jobs: dict[str, Job] = {}
         self._by_idempotency: dict[tuple[str, str], str] = {}
         self._seq = 0

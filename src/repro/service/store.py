@@ -48,13 +48,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping
 
 import numpy as np
 
+from repro.analysis.dynamic import instrumented_lock, instrumented_rlock
 from repro.resilience.checkpoint import CheckpointStore
 
 __all__ = [
@@ -92,7 +92,7 @@ class LamportClock:
 
     def __init__(self, time: int = 0) -> None:
         self._time = int(time)
-        self._lock = threading.Lock()
+        self._lock = instrumented_lock("service.store.clock")
 
     @property
     def time(self) -> int:
@@ -159,7 +159,7 @@ class ReplicaNode:
         self.name = name
         self.root = Path(root)
         self.store = CheckpointStore(self.root)
-        self._lock = threading.RLock()
+        self._lock = instrumented_rlock("service.store.replica")
         #: applied op metadata in arrival order (mirrors OPLOG.jsonl);
         #: each entry is {"op_id", "key", "ts", "deleted"}.
         self._journal: list[dict] = []

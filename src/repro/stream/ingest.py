@@ -36,6 +36,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro.analysis.dynamic import instrumented_lock
 from repro.datasets import finance, var_synthetic
 from repro.telemetry.recorder import count as _tcount
 from repro.wire import LineChannel, decode_array, encode_array
@@ -73,7 +74,7 @@ class DoubleBuffer:
         self.capacity = capacity
         self.policy = policy
         self._back: list[np.ndarray] = []
-        self._lock = threading.Lock()
+        self._lock = instrumented_lock("stream.ingest.buffer")
         self._not_full = threading.Condition(self._lock)
         self._closed = False
         self.produced = 0

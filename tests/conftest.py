@@ -1,0 +1,33 @@
+"""Suite-wide fixtures and the REPRO_THREAD_CHECK session gate.
+
+When the suite runs with ``REPRO_THREAD_CHECK=1`` (the dedicated CI
+job), every lock the service/elastic/stream layers create routes
+through the process-global
+:class:`~repro.analysis.dynamic.LockOrderObserver` — and this hook
+turns the whole test session into one long DYN206 run: any observed
+lock-order inversion or long-held-lock stall accumulated across every
+test fails the session at exit.
+"""
+
+import os
+
+import pytest
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    if os.environ.get("REPRO_THREAD_CHECK", "") in ("", "0"):
+        return
+    from repro.analysis.dynamic import current_lock_observer
+    from repro.analysis.findings import format_findings
+
+    observer = current_lock_observer()
+    if observer is None:  # pragma: no cover - env flipped mid-session
+        return
+    findings = observer.findings()
+    if findings:
+        session.exitstatus = 1
+        raise pytest.UsageError(
+            "REPRO_THREAD_CHECK: the lock-order observer collected "
+            f"{len(findings)} DYN206 finding(s) across the session:\n"
+            + format_findings(findings)
+        )

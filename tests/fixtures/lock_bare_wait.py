@@ -1,0 +1,25 @@
+"""Seeded LOCK502 fixture: ``Condition.wait()`` without a while-predicate.
+
+``take`` waits with a bare ``if`` check — a spurious wakeup or a
+competing consumer winning the race leaves it popping from an empty
+list.  The regression test asserts the exact rule ID and line number.
+"""
+
+import threading
+
+
+class Mailbox:
+    def __init__(self) -> None:
+        self.cond = threading.Condition()
+        self.items: list[int] = []
+
+    def put(self, item: int) -> None:
+        with self.cond:
+            self.items.append(item)
+            self.cond.notify()
+
+    def take(self) -> int:
+        with self.cond:
+            if not self.items:
+                self.cond.wait()  # line 24: bare wait, no while-predicate
+            return self.items.pop(0)

@@ -1,0 +1,30 @@
+"""Seeded LOCK501 fixture: a deliberate two-lock order inversion.
+
+``transfer`` takes ``_ledger`` then ``_audit``; ``reconcile`` takes
+``_audit`` then ``_ledger``.  Two threads interleaving the two paths
+deadlock.  The regression test asserts the exact rule IDs and line
+numbers of the inner acquisitions, so keep the line layout stable.
+"""
+
+import threading
+
+
+class Accounts:
+    def __init__(self) -> None:
+        self._ledger = threading.Lock()
+        self._audit = threading.Lock()
+        self.balance = 0
+        self.trail: list[int] = []
+
+    def transfer(self, amount: int) -> None:
+        with self._ledger:
+            self.balance += amount
+            with self._audit:  # line 22: _ledger -> _audit
+                self.trail.append(amount)
+
+    def reconcile(self) -> int:
+        with self._audit:
+            total = sum(self.trail)
+            with self._ledger:  # line 28: _audit -> _ledger
+                self.balance = total
+        return total

@@ -302,9 +302,9 @@ class TestReplicatedResultsStore:
         with pytest.raises(ValueError):
             ReplicatedResultsStore(tmp_path / "s2", replication=0)
 
-    def test_concurrent_puts_converge(self, tmp_path):
-        store = ReplicatedResultsStore(tmp_path / "s", nshards=2)
-        barrier = threading.Barrier(4)
+    @staticmethod
+    def _race_writers(store: ReplicatedResultsStore, nwriters: int = 4) -> None:
+        barrier = threading.Barrier(nwriters)
         errors: list[BaseException] = []
 
         def writer(tid: int) -> None:
@@ -316,7 +316,7 @@ class TestReplicatedResultsStore:
                 errors.append(exc)
 
         threads = [
-            threading.Thread(target=writer, args=(t,)) for t in range(4)
+            threading.Thread(target=writer, args=(t,)) for t in range(nwriters)
         ]
         for t in threads:
             t.start()
@@ -324,4 +324,20 @@ class TestReplicatedResultsStore:
             t.join()
         assert not errors
         assert store.converged()
-        assert len(store.keys()) == 32
+        assert len(store.keys()) == 8 * nwriters
+
+    def test_concurrent_puts_converge(self, tmp_path):
+        store = ReplicatedResultsStore(tmp_path / "s", nshards=2)
+        self._race_writers(store)
+
+    def test_concurrent_puts_clean_under_lock_observer(self, tmp_path):
+        """The same race with DYN206 enabled: the store's primary ->
+        replica -> checkpoint lock topology must produce zero observed
+        inversions and no long holds."""
+        from repro.analysis.dynamic import LockOrderObserver, use_lock_observer
+
+        observer = LockOrderObserver()
+        with use_lock_observer(observer):
+            store = ReplicatedResultsStore(tmp_path / "s", nshards=2)
+            self._race_writers(store)
+        assert observer.findings() == []
